@@ -1,0 +1,80 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.accel import AxpyAccelerator, AxpyParams, FftAccelerator
+from repro.accel.fft import FftParams
+from repro.core.invocation import InvocationModel
+from repro.host.cache import CacheHierarchy
+from repro.memsys import HMC_VAULT, StackedDram
+
+AXPY_PARAMS = AxpyParams(n=1 << 24, alpha=1.0, x_pa=0, y_pa=1 << 27)
+DEVICE = StackedDram()
+
+
+def test_ablation_vault_tiling(benchmark):
+    """Vault-level tiling: deploying tiles on all 16 vaults vs few.
+
+    Accelerator bandwidth must scale with deployed tiles — the reason
+    the paper bonds one tile per vault.
+    """
+    def sweep():
+        return {tiles: AxpyAccelerator(tiles=tiles).model(
+            DEVICE, AXPY_PARAMS, tiles=tiles).result.time
+            for tiles in (1, 2, 4, 8, 16)}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation — AXPY time vs deployed tiles:", {
+        k: round(v * 1e3, 3) for k, v in times.items()})
+    assert times[16] < times[4] < times[1]
+    assert times[1] / times[16] > 4.0
+
+
+def test_ablation_invocation_flush(benchmark):
+    """wbinvd share of the invocation overhead (include vs exclude)."""
+    model = InvocationModel()
+
+    def costs():
+        with_flush = model.total(4096, 8 << 20, include_flush=True)
+        without = model.total(4096, 8 << 20, include_flush=False)
+        return with_flush, without
+
+    with_flush, without = benchmark.pedantic(costs, rounds=1, iterations=1)
+    share = 1 - without.time / with_flush.time
+    print(f"\nAblation — cache flush is {100 * share:.0f}% of the "
+          f"invocation overhead")
+    assert with_flush.time > without.time
+    assert share > 0.5         # the flush dominates, as Sec 5.5 implies
+
+
+def test_ablation_row_buffer_size(benchmark):
+    """Fig 11's row-buffer knob isolated: FFT time across row sizes."""
+    params = FftParams(n=4096, batch=64, src_pa=0, dst_pa=1 << 22)
+
+    def sweep():
+        out = {}
+        for row_bytes in (512, 2048, 8192):
+            device = StackedDram(
+                timing=HMC_VAULT.with_row_bytes(row_bytes))
+            out[row_bytes] = FftAccelerator().model(
+                device, params).result.time
+        return out
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation — FFT time vs row-buffer bytes:", {
+        k: round(v * 1e6, 1) for k, v in times.items()})
+    # larger rows help (fewer activates) or are at worst neutral
+    assert times[8192] <= times[512] * 1.05
+
+
+def test_ablation_flush_dirty_fraction(benchmark):
+    """Sensitivity of invocation cost to cache dirtiness."""
+    def sweep():
+        return {frac: InvocationModel(
+            cache=CacheHierarchy(dirty_fraction=frac)).total(
+                4096, 8 << 20).time for frac in (0.1, 0.5, 0.9)}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation — invocation time vs dirty fraction:", {
+        k: round(v * 1e6, 1) for k, v in times.items()})
+    assert times[0.1] < times[0.5] < times[0.9]

@@ -1,0 +1,20 @@
+"""Figure 1: library-vs-original speedups (R / PERFECT / PARSEC)."""
+
+from repro.apps.suites import library_speedups, suite_maxima
+from repro.eval import calibration as cal
+
+
+def test_fig1_library_speedups(benchmark):
+    rows = benchmark.pedantic(library_speedups, rounds=1, iterations=1)
+    maxima = suite_maxima(rows)
+    print("\nFig 1 — best library speedup per suite (paper in parens):")
+    for suite, value in maxima.items():
+        print(f"  {suite:8s} {value:6.1f}x   "
+              f"({cal.FIG1_SUITE_MAXIMA[suite]:.0f}x)")
+    for row in rows:
+        print(f"  {row.suite:8s} {row.name:16s} "
+              f"1T={row.speedup_single:6.1f}x  "
+              f"MT={row.speedup_multi:6.1f}x")
+    # shape: every suite shows an order-of-magnitude-class win
+    for suite, paper in cal.FIG1_SUITE_MAXIMA.items():
+        assert 0.5 * paper < maxima[suite] < 2.0 * paper

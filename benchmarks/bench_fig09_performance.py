@@ -1,0 +1,44 @@
+"""Figure 9: per-operation performance vs Haswell-MKL on all platforms.
+
+Regenerates the full Table 2 workloads across the five Table 3
+platforms and prints the normalised speedups the figure reports.
+"""
+
+import pytest
+
+from repro.eval import calibration as cal
+from repro.eval.runner import (IndividualOpRunner, geometric_mean,
+                               speedups_vs_haswell)
+from repro.eval.workloads import OP_ORDER
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return IndividualOpRunner(scale=1.0).run_all()
+
+
+def test_fig9_performance(benchmark, runs):
+    speed = benchmark.pedantic(speedups_vs_haswell, args=(runs,), rounds=1, iterations=1)
+    print("\nFig 9 — speedup over Haswell MKL "
+          "(MEALib paper value in parens):")
+    for op in OP_ORDER:
+        row = speed[op]
+        print(f"  {op:6s} Phi={row['XeonPhi']:6.2f} "
+              f"PSAS={row['PSAS']:6.2f} MSAS={row['MSAS']:6.2f} "
+              f"MEALib={row['MEALib']:7.2f} "
+              f"({cal.FIG9_MEALIB_SPEEDUP[op]:.1f})")
+    means = {p: geometric_mean(speed[op][p] for op in OP_ORDER)
+             for p in ("PSAS", "MSAS", "MEALib")}
+    print(f"  geomeans: PSAS={means['PSAS']:.2f} (2.51) "
+          f"MSAS={means['MSAS']:.2f} (10.32) "
+          f"MEALib={means['MEALib']:.2f} (38)")
+    # shape assertions: winners, extremes, rough factors
+    for op in OP_ORDER:
+        paper = cal.FIG9_MEALIB_SPEEDUP[op]
+        assert 0.4 * paper < speed[op]["MEALib"] < 2.5 * paper
+        assert speed[op]["PSAS"] < speed[op]["MSAS"] \
+            < speed[op]["MEALib"]
+    mealib = {op: speed[op]["MEALib"] for op in OP_ORDER}
+    assert max(mealib, key=mealib.get) == "RESHP"
+    assert min(mealib, key=mealib.get) == "SPMV"
+    assert 19 < means["MEALib"] < 76          # paper: 38x average

@@ -1,0 +1,40 @@
+"""Figure 10: per-operation energy efficiency vs Haswell-MKL."""
+
+import pytest
+
+from repro.eval import calibration as cal
+from repro.eval.runner import (IndividualOpRunner, efficiency_vs_haswell,
+                               geometric_mean, speedups_vs_haswell)
+from repro.eval.workloads import OP_ORDER
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return IndividualOpRunner(scale=1.0).run_all()
+
+
+def test_fig10_energy_efficiency(benchmark, runs):
+    eff = benchmark.pedantic(efficiency_vs_haswell, args=(runs,), rounds=1, iterations=1)
+    speed = speedups_vs_haswell(runs)
+    print("\nFig 10 — GFLOPS/W gain over Haswell MKL "
+          "(MEALib paper value in parens):")
+    for op in OP_ORDER:
+        row = eff[op]
+        print(f"  {op:6s} Phi={row['XeonPhi']:6.2f} "
+              f"PSAS={row['PSAS']:6.2f} MSAS={row['MSAS']:6.2f} "
+              f"MEALib={row['MEALib']:7.2f} "
+              f"({cal.FIG10_MEALIB_EFFICIENCY[op]:.1f})")
+    means = {p: geometric_mean(eff[op][p] for op in OP_ORDER)
+             for p in ("PSAS", "MSAS", "MEALib")}
+    print(f"  geomeans: PSAS={means['PSAS']:.2f} (10.7) "
+          f"MSAS={means['MSAS']:.2f} (15) "
+          f"MEALib={means['MEALib']:.2f} (75)")
+    for op in OP_ORDER:
+        paper = cal.FIG10_MEALIB_EFFICIENCY[op]
+        assert 0.3 * paper < eff[op]["MEALib"] < 2.0 * paper
+        # the paper's observation: energy gains exceed perf gains
+        assert eff[op]["XeonPhi"] < 1.0
+    exceed = sum(eff[op]["MEALib"] > speed[op]["MEALib"]
+                 for op in OP_ORDER)
+    assert exceed >= 5
+    assert 25 < means["MEALib"] < 150          # paper: 75x average

@@ -1,0 +1,41 @@
+"""Figure 11: FFT and SPMV accelerator design-space exploration."""
+
+from repro.accel.design_space import (efficiency_range, explore_fft,
+                                      explore_spmv)
+from repro.eval import calibration as cal
+
+
+def test_fig11_fft_design_space(benchmark):
+    points = benchmark.pedantic(explore_fft, rounds=1, iterations=1)
+    lo, hi = efficiency_range(points)
+    gmin = min(p.gflops for p in points)
+    gmax = max(p.gflops for p in points)
+    print(f"\nFig 11a — FFT design space: {len(points)} points, "
+          f"{gmin:.0f}-{gmax:.0f} GFLOPS, "
+          f"{lo:.1f}-{hi:.1f} GFLOPS/W (paper "
+          f"{cal.FIG11_FFT_EFF_RANGE[0]:.0f}-"
+          f"{cal.FIG11_FFT_EFF_RANGE[1]:.0f})")
+    # the paper's qualitative claims: a wide efficiency spread and
+    # GFLOPS-scale performance reaching the thousands
+    assert hi > 1.5 * lo
+    assert gmax > 1000.0
+    assert hi > 30.0
+    # frequency scaling visible among compute-bound points
+    slow = [p for p in points if p.freq_hz == 0.8e9 and p.tiles == 4
+            and p.core_mult == 1]
+    fast = [p for p in points if p.freq_hz == 2.0e9 and p.tiles == 4
+            and p.core_mult == 1]
+    assert max(p.gflops for p in fast) >= max(p.gflops for p in slow)
+
+
+def test_fig11_spmv_design_space(benchmark):
+    points = benchmark.pedantic(explore_spmv, rounds=1, iterations=1)
+    lo, hi = efficiency_range(points)
+    print(f"\nFig 11b — SPMV design space: {len(points)} points, "
+          f"{lo:.2f}-{hi:.2f} GFLOPS/W (paper "
+          f"{cal.FIG11_SPMV_EFF_RANGE[0]}-"
+          f"{cal.FIG11_SPMV_EFF_RANGE[1]})")
+    # the paper's point: SPMV efficiency is orders of magnitude below
+    # FFT no matter the design, and the spread is still visible
+    assert hi < 3.0
+    assert hi > 1.3 * lo

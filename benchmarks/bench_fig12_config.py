@@ -1,0 +1,28 @@
+"""Figure 12: configuration-infrastructure efficiency.
+
+(a) hardware vs software accelerator chaining (SAR's RESMP+FFT);
+(b) hardware LOOP vs a software loop of 128 FFT invocations.
+"""
+
+from repro.eval import calibration as cal
+from repro.eval.figures import fig12
+
+
+def test_fig12_chaining_and_loop(benchmark):
+    report = benchmark.pedantic(fig12, rounds=1, iterations=1)
+    print("\nFig 12a — SW/HW chaining gain vs size "
+          f"(paper {cal.FIG12_CHAIN_GAIN_256}x at 256):")
+    for row in report["chaining"]:
+        print(f"  {row['side']:5d}  {row['gain']:.2f}x")
+    print("Fig 12b — SW/HW loop gain vs size "
+          f"(paper {cal.FIG12_LOOP_GAIN_256}x at 256):")
+    for row in report["looping"]:
+        print(f"  {row['side']:5d}  {row['gain']:.2f}x")
+    chain = [r["gain"] for r in report["chaining"]]
+    loop = [r["gain"] for r in report["looping"]]
+    # gains are >1 at small sizes and shrink as sizes grow
+    assert chain[0] > 1.5 and loop[0] > 5.0
+    assert chain[0] > chain[-1]
+    assert loop[0] > loop[-1]
+    # loop compaction helps far more than chaining at small sizes
+    assert loop[0] > 2 * chain[0]

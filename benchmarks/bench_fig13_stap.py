@@ -1,0 +1,32 @@
+"""Figure 13: STAP performance and EDP gains over the Haswell baseline."""
+
+import pytest
+
+from repro.apps.stap import stap_gains
+from repro.eval import calibration as cal
+
+
+@pytest.mark.parametrize("preset", ["small", "medium", "large"])
+def test_fig13_stap_gains(benchmark, preset):
+    gains = benchmark.pedantic(stap_gains, args=(preset,), rounds=1, iterations=1)
+    paper_sp = cal.FIG13_SPEEDUP[preset]
+    paper_edp = cal.FIG13_EDP_GAIN[preset]
+    print(f"\nFig 13 [{preset}] speedup {gains.speedup:.2f}x "
+          f"(paper {paper_sp}x), EDP gain {gains.edp_gain:.2f}x "
+          f"(paper {paper_edp}x)")
+    assert 0.5 * paper_sp < gains.speedup < 2.0 * paper_sp
+    assert 0.4 * paper_edp < gains.edp_gain < 2.5 * paper_edp
+    # EDP gains exceed raw speedups (the paper's energy story)
+    assert gains.edp_gain > gains.speedup
+
+
+def test_fig13_gains_grow_with_dataset(benchmark):
+    def all_presets():
+        return {p: stap_gains(p) for p in ("small", "medium", "large")}
+
+    gains = benchmark.pedantic(all_presets, rounds=1, iterations=1)
+    speedups = [gains[p].speedup for p in ("small", "medium", "large")]
+    edps = [gains[p].edp_gain for p in ("small", "medium", "large")]
+    print(f"\nFig 13 trend: speedups {speedups}, EDP gains {edps}")
+    assert speedups == sorted(speedups)
+    assert edps == sorted(edps)

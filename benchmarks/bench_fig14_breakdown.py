@@ -1,0 +1,38 @@
+"""Figure 14: STAP time/energy breakdown on MEALib (large data set)."""
+
+from repro.apps.stap import stap_gains
+from repro.eval import calibration as cal
+
+
+def test_fig14_breakdown(benchmark):
+    gains = benchmark.pedantic(stap_gains, args=("large",), rounds=1, iterations=1)
+    print(f"\nFig 14 [large] (paper in parens):")
+    print(f"  host time share        {gains.host_time_share:.2f} "
+          f"({cal.FIG14_HOST_TIME_SHARE})")
+    print(f"  host energy share      {gains.host_energy_share:.2f} "
+          f"({cal.FIG14_HOST_ENERGY_SHARE})")
+    print(f"  invocation time share  "
+          f"{gains.invocation_time_share:.3f} "
+          f"({cal.FIG14_INVOCATION_TIME_SHARE})")
+    print(f"  invocation energy share "
+          f"{gains.invocation_energy_share:.3f} "
+          f"({cal.FIG14_INVOCATION_ENERGY_SHARE})")
+    print(f"  DOT accel-time share   "
+          f"{gains.accel_time_shares.get('DOT', 0):.2f} "
+          f"({cal.FIG14_DOT_TIME_SHARE})")
+    print(f"  descriptors            {gains.descriptors} "
+          f"({cal.FIG14_DESCRIPTORS}) for "
+          f"{gains.original_calls / 1e6:.1f}M calls "
+          f"({cal.FIG14_TOTAL_CALLS / 1e6:.0f}M)")
+    # the paper's qualitative breakdown
+    assert gains.host_time_share > 0.5            # host dominates time
+    assert gains.host_energy_share > 0.85         # ... and energy
+    assert gains.host_energy_share > gains.host_time_share
+    assert gains.invocation_time_share < 0.10     # compaction worked
+    # DOT dominates the accelerator portion
+    dot = gains.accel_time_shares.get("DOT", 0.0)
+    assert dot == max(gains.accel_time_shares.values())
+    assert dot > 0.5
+    # 16.7M calls in 3 descriptors
+    assert gains.descriptors == 3
+    assert gains.original_calls > 16e6

@@ -1,0 +1,36 @@
+"""Table 5: power and area of accelerator-layer components (32nm)."""
+
+from repro.eval import calibration as cal
+from repro.eval.figures import table5
+
+
+def test_table5_power_and_area(benchmark):
+    report = benchmark.pedantic(table5, args=(0.25,), rounds=1, iterations=1)
+    print("\nTable 5 — component power/area (paper in parens):")
+    for row in report["rows"]:
+        power = (f"{row['power_w']:6.2f}W"
+                 if row["power_w"] is not None else "     -")
+        paper_p = (f"({row['paper_power_w']}W)"
+                   if row["paper_power_w"] is not None else "")
+        area = (f"{row['area_mm2']:6.2f}mm2"
+                if row["area_mm2"] is not None else "      -")
+        paper_a = (f"({row['paper_area_mm2']}mm2)"
+                   if row["paper_area_mm2"] is not None else "")
+        print(f"  {row['component']:22s} {power} {paper_p:10s} "
+              f"{area} {paper_a}")
+    print(f"  total area {report['total_area_mm2']} mm2 "
+          f"({report['paper_total_area_mm2']}), "
+          f"{100 * report['area_budget_fraction']:.1f}% of budget "
+          f"({100 * report['paper_area_budget_fraction']:.1f}%)")
+    # shape: total area near the paper's, inside the 68 mm2 budget
+    assert 0.85 * cal.TABLE5_TOTAL_AREA < report["total_area_mm2"] \
+        < 1.15 * cal.TABLE5_TOTAL_AREA
+    assert report["area_budget_fraction"] < 1.0
+    # FFT and SPMV dominate area; per-accelerator power in the
+    # sub-35 W class the paper reports
+    areas = {r["component"]: r["area_mm2"] for r in report["rows"]
+             if r["area_mm2"] is not None}
+    assert areas["FFT"] > 10 and areas["SPMV"] > 10
+    for row in report["rows"]:
+        if row["power_w"] is not None:
+            assert row["power_w"] < 40.0

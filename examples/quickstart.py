@@ -1,0 +1,58 @@
+"""Quickstart: accelerate one library call through the full MEALib stack.
+
+Allocates vectors in the unified address space, writes a TDL program,
+lowers it to an accelerator descriptor, executes it through the
+configuration unit, and compares against the same call on the host
+library — functionally and in time/energy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.accel import AxpyParams
+from repro.core import MealibSystem, ParamStore
+from repro.host.platforms import haswell
+from repro.mkl import axpy_profile
+
+
+def main() -> None:
+    system = MealibSystem(stack_bytes=512 << 20)
+    n = 1 << 22                                   # 4M floats
+
+    # 1. allocate physically contiguous, virtually mapped buffers
+    xbuf, x = system.space.alloc_array((n,), np.float32)
+    ybuf, y = system.space.alloc_array((n,), np.float32)
+    rng = np.random.default_rng(0)
+    x[:] = rng.standard_normal(n)
+    y[:] = rng.standard_normal(n)
+    expected = 2.5 * x + y
+
+    # 2. describe the work in TDL and lower it to a descriptor
+    params = ParamStore()
+    params.add("axpy.para", AxpyParams(n=n, alpha=2.5, x_pa=xbuf.pa,
+                                       y_pa=ybuf.pa).pack())
+    plan = system.runtime.acc_plan("PASS { COMP AXPY axpy.para }",
+                                   params, in_size=2 * n * 4,
+                                   out_size=n * 4)
+
+    # 3. ring the doorbell; the configuration unit does the rest
+    accel = system.runtime.acc_execute(plan)
+    system.runtime.acc_destroy(plan)
+    assert np.allclose(y, expected, rtol=1e-5)
+
+    # 4. compare with MKL-on-Haswell for the same operation
+    host = haswell().run_profile(axpy_profile(n))
+
+    print(f"saxpy over {n / 1e6:.0f}M floats")
+    print(f"  MEALib : {accel.time * 1e3:7.3f} ms   "
+          f"{accel.energy * 1e3:7.2f} mJ  ({accel.power:5.1f} W)")
+    print(f"  Haswell: {host.time * 1e3:7.3f} ms   "
+          f"{host.energy * 1e3:7.2f} mJ  ({host.power:5.1f} W)")
+    print(f"  speedup {host.time / accel.time:5.1f}x, "
+          f"energy gain {host.energy / accel.energy:5.1f}x")
+    print("  results verified against numpy: OK")
+
+
+if __name__ == "__main__":
+    main()

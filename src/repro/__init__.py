@@ -1,0 +1,19 @@
+"""MEALib reproduction: memory-accelerated library (MICRO 2015).
+
+The package is organised bottom-up:
+
+* :mod:`repro.memsys` — cycle-level DRAM substrate (3D stack + DDR);
+* :mod:`repro.memmgmt` — simulated physical memory, allocator, page table,
+  device driver (the shared-memory management of Section 3.3);
+* :mod:`repro.mkl` — the software library baseline ("Intel MKL" stand-in);
+* :mod:`repro.host` — host CPU / platform models (Table 3);
+* :mod:`repro.accel` — the accelerator layer (Table 1, Figure 4);
+* :mod:`repro.core` — MEALib proper: TDL, accelerator descriptors,
+  configuration unit, runtime routines (Sections 2.3-3.5);
+* :mod:`repro.compiler` — the source-to-source compiler (Section 3.4);
+* :mod:`repro.apps` — STAP, SAR, and suite proxy workloads;
+* :mod:`repro.eval` — the evaluation harness regenerating every table and
+  figure of the paper.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,266 @@
+"""Accelerator base machinery: functional execution + timing model.
+
+Every accelerator in Table 1 derives from :class:`AcceleratorCore` and
+supplies three views of itself:
+
+* ``run`` — functional execution against the unified address space
+  (physical addressing, numpy views over the very bytes the CPU sees);
+* ``profile``/``streams`` — the machine-independent op profile and the
+  concrete DRAM access streams, which the shared :meth:`model` turns
+  into time and energy on whichever memory device the platform has
+  (processor-side DDR for PSAS, 2D DRAM for MSAS, the 3D stack for
+  MEALib);
+* a synthesised :class:`~repro.accel.synthesis.LogicBlock` per tile.
+
+The timing model is the paper's: an accelerator is either bandwidth-bound
+(time from the cycle-level DRAM simulation) or compute-bound (time from
+its lane count and clock), and its energy is DRAM energy + logic power,
+with lane activity derated when the memory system is the bottleneck.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import ClassVar, List, Mapping, Optional, Type
+
+from repro.accel.synthesis import LogicBlock, noc_power
+from repro.memmgmt.addrspace import UnifiedAddressSpace
+from repro.memsys.device import MemoryDevice
+from repro.memsys.result import MemResult
+from repro.memsys.trace import StreamSpec, simulate_streams
+from repro.metrics import ExecResult
+from repro.mkl.profiles import OpProfile
+
+#: Tiles on the accelerator layer: one per vault.
+DEFAULT_TILES = 16
+
+#: Default accelerator clock (the middle of the Fig 11 sweep).
+DEFAULT_FREQ_HZ = 1.6e9
+
+#: Achieved fraction of peak lane throughput (pipeline fill, edges).
+LANE_EFFICIENCY = 0.75
+
+#: Flops per lane per cycle (fused multiply-add).
+FLOPS_PER_LANE_CYCLE = 2.0
+
+
+@dataclass(frozen=True)
+class AccelExecution:
+    """Outcome of modelling one accelerator invocation."""
+
+    result: ExecResult
+    mem: MemResult
+    t_compute: float
+    freq_hz: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.mem.time >= self.t_compute
+
+
+class AcceleratorCore(ABC):
+    """One fixed-function accelerator (an entry of Table 1)."""
+
+    #: Accelerator name; matches the OpProfile name and the TDL opcode.
+    name: ClassVar[str]
+    #: Numeric opcode used in the descriptor Instruction Region.
+    opcode: ClassVar[int]
+    #: Per-tile synthesised logic.
+    logic: ClassVar[LogicBlock]
+    #: Parameter dataclass (must provide pack()/unpack()).
+    params_type: ClassVar[Type]
+    #: Flops per lane per cycle. 2 (an FMA) by default; datapaths built
+    #: from larger fused units override it — an FFT butterfly unit
+    #: retires 10 flops/cycle, a spline pipeline stage ~5.
+    lane_flops: ClassVar[float] = FLOPS_PER_LANE_CYCLE
+
+    def __init__(self, tiles: int = DEFAULT_TILES,
+                 freq_hz: float = DEFAULT_FREQ_HZ):
+        if tiles <= 0:
+            raise ValueError("tile count must be positive")
+        if freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.tiles = tiles
+        self.freq_hz = freq_hz
+
+    # -- functional side -----------------------------------------------------
+
+    @abstractmethod
+    def run(self, space: UnifiedAddressSpace, params) -> None:
+        """Execute the operation on physical memory (numerically)."""
+
+    # -- modelling side --------------------------------------------------------
+
+    @abstractmethod
+    def profile(self, params) -> OpProfile:
+        """Machine-independent characterisation of this invocation."""
+
+    @abstractmethod
+    def streams(self, params) -> List[StreamSpec]:
+        """Concrete DRAM access streams of this invocation."""
+
+    def compute_rate(self, freq_hz: Optional[float] = None,
+                     tiles: Optional[int] = None) -> float:
+        """Peak-achievable flops/second of the deployed lanes."""
+        freq = freq_hz if freq_hz is not None else self.freq_hz
+        n_tiles = tiles if tiles is not None else self.tiles
+        return (n_tiles * self.logic.fpus * self.lane_flops
+                * LANE_EFFICIENCY * freq)
+
+    def logic_power(self, freq_hz: Optional[float] = None,
+                    activity: float = 1.0,
+                    tiles: Optional[int] = None) -> float:
+        freq = freq_hz if freq_hz is not None else self.freq_hz
+        n_tiles = tiles if tiles is not None else self.tiles
+        return n_tiles * self.logic.power(freq, activity)
+
+    def area_mm2(self, tiles: Optional[int] = None) -> float:
+        n_tiles = tiles if tiles is not None else self.tiles
+        return n_tiles * self.logic.area_mm2
+
+    def model(self, device: MemoryDevice, params,
+              freq_hz: Optional[float] = None,
+              tiles: Optional[int] = None) -> AccelExecution:
+        """Time/energy of one invocation on ``device``.
+
+        The memory side comes from the cycle-level DRAM simulation of
+        this invocation's streams; the compute side from the deployed
+        lanes. Whichever is slower sets the time. Energy adds DRAM
+        energy (extended by static power if compute-bound), activity-
+        derated logic power, and the mesh NoC.
+        """
+        freq = freq_hz if freq_hz is not None else self.freq_hz
+        n_tiles = tiles if tiles is not None else self.tiles
+        prof = self.profile(params)
+        mem = simulate_streams(device, self.streams(params))
+        # A tile only drives its own vault's TSV bus: deploying fewer
+        # tiles than the device has vaults proportionally limits the
+        # reachable bandwidth (a Fig 11 design-space axis).
+        if n_tiles < device.units:
+            stretched = mem.time * device.units / n_tiles
+            mem = MemResult(
+                time=stretched,
+                energy=mem.energy + device.static_power()
+                * (stretched - mem.time),
+                bytes_moved=mem.bytes_moved)
+        rate = self.compute_rate(freq, tiles)
+        t_compute = prof.flops / rate if prof.flops else 0.0
+        time = max(mem.time, t_compute, 1e-12)
+        dram_energy = mem.energy
+        if time > mem.time:
+            dram_energy += device.static_power() * (time - mem.time)
+        # lanes clock (and burn) even when bandwidth-starved: these
+        # simple cores have no clock gating, so activity stays high
+        activity = min(1.0, t_compute / time) if time else 0.0
+        logic = self.logic_power(freq, activity=max(activity, 0.8),
+                                 tiles=tiles)
+        energy = dram_energy + (logic + noc_power()) * time
+        return AccelExecution(
+            result=ExecResult(time=time, energy=energy),
+            mem=mem, t_compute=t_compute, freq_hz=freq)
+
+    # -- descriptor plumbing --------------------------------------------------
+
+    def pack_params(self, params) -> bytes:
+        return params.pack()
+
+    def unpack_params(self, data: bytes):
+        return self.params_type.unpack(data)
+
+
+# -- LOOP stride tables -------------------------------------------------------
+#
+# A COMP inside a LOOP block advances its address-typed parameters between
+# iterations. The compiler derives the strides from the (possibly nested)
+# OpenMP loop bounds, so the table is mixed-radix: ``trips`` lists the
+# nest's trip counts outermost-first, and each address field carries one
+# signed delta per nest level. A one-level table with trip 0 means "pure
+# linear": offset = delta * iteration, with the count supplied by the
+# LOOP instruction. The table is packed behind the parameter record in
+# the descriptor's Parameter Region.
+
+
+@dataclass(frozen=True)
+class StrideTable:
+    """Mixed-radix per-iteration address advance for looped COMPs."""
+
+    trips: tuple
+    deltas: Mapping[str, tuple]
+
+    def __post_init__(self) -> None:
+        for field_deltas in self.deltas.values():
+            if len(field_deltas) != len(self.trips):
+                raise ValueError("delta arity must match trip arity")
+
+    @property
+    def total(self) -> int:
+        out = 1
+        for t in self.trips:
+            out *= t
+        return out
+
+    def offsets(self, iteration: int) -> Mapping[str, int]:
+        """Address offsets of loop ``iteration`` (row-major over trips)."""
+        if len(self.trips) == 1:
+            return {f: d[0] * iteration for f, d in self.deltas.items()}
+        digits = []
+        rest = iteration
+        for trip in reversed(self.trips):
+            digits.append(rest % trip)
+            rest //= trip
+        digits.reverse()
+        return {f: sum(d * g for d, g in zip(field_deltas, digits))
+                for f, field_deltas in self.deltas.items()}
+
+
+def linear_strides(params_type: Type,
+                   strides: Mapping[str, int]) -> StrideTable:
+    """A one-level table: every iteration advances by a fixed delta."""
+    for key in strides:
+        if key not in params_type.ADDR_FIELDS:
+            raise ValueError(f"{key!r} is not an address field of "
+                             f"{params_type.__name__}")
+    return StrideTable(trips=(0,),
+                       deltas={f: (int(strides.get(f, 0)),)
+                               for f in params_type.ADDR_FIELDS})
+
+
+def pack_strides(params_type: Type, strides) -> bytes:
+    """Pack a stride table (a mapping means a linear table)."""
+    if not isinstance(strides, StrideTable):
+        strides = linear_strides(params_type, strides)
+    ndims = len(strides.trips)
+    out = bytearray(struct.pack("<I", ndims))
+    out.extend(struct.pack(f"<{ndims}q", *strides.trips))
+    for field in params_type.ADDR_FIELDS:
+        deltas = strides.deltas.get(field, (0,) * ndims)
+        out.extend(struct.pack(f"<{ndims}q", *deltas))
+    return bytes(out)
+
+
+def unpack_strides(params_type: Type, blob: bytes) -> StrideTable:
+    """Inverse of :func:`pack_strides`."""
+    (ndims,) = struct.unpack_from("<I", blob, 0)
+    pos = 4
+    trips = struct.unpack_from(f"<{ndims}q", blob, pos)
+    pos += 8 * ndims
+    deltas = {}
+    for field in params_type.ADDR_FIELDS:
+        deltas[field] = struct.unpack_from(f"<{ndims}q", blob, pos)
+        pos += 8 * ndims
+    return StrideTable(trips=tuple(trips), deltas=deltas)
+
+
+def shift_params(params, strides, iteration: int):
+    """Advance a parameter record to loop ``iteration``."""
+    if strides is None or iteration < 0:
+        return params
+    if not isinstance(strides, StrideTable):
+        strides = linear_strides(type(params), strides)
+    if iteration == 0:
+        return params
+    updates = {field: getattr(params, field) + off
+               for field, off in strides.offsets(iteration).items() if off}
+    return replace(params, **updates) if updates else params

@@ -1,0 +1,137 @@
+"""Design-space exploration for the FFT and SPMV accelerators (Fig 11).
+
+Sweeps accelerator clock, deployed tile count, DRAM row-buffer size and
+(for FFT) streaming block size; every point is evaluated with the same
+cycle-level machinery as the headline results, yielding a
+performance-vs-power cloud whose iso-efficiency spread reproduces the
+paper's observation: FFT spans tens of GFLOPS/W while SPMV stays below
+2 GFLOPS/W no matter the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.accel.fft import FftAccelerator, FftParams
+from repro.accel.noc import MeshNoc
+from repro.accel.spmv import SpmvAccelerator, SpmvParams
+from repro.memsys.dram3d import StackedDram
+from repro.memsys.timing import HMC_VAULT
+from repro.mkl.sparse import random_geometric_graph
+
+#: The paper's frequency sweep.
+FREQUENCIES_HZ = (0.8e9, 1.2e9, 1.6e9, 2.0e9)
+
+DEFAULT_TILE_COUNTS = (4, 8, 16)
+DEFAULT_ROW_BYTES = (1024, 2048, 4096)
+DEFAULT_FFT_BLOCKS = (64, 256)
+#: Datapath-width multiplier ("number of accelerator cores" per tile).
+DEFAULT_CORE_MULTS = (1, 4)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    accelerator: str
+    freq_hz: float
+    tiles: int
+    row_bytes: int
+    block_elems: int
+    gflops: float
+    power_w: float
+    core_mult: int = 1
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.gflops / self.power_w if self.power_w > 0 else 0.0
+
+
+def _stack(row_bytes: int) -> StackedDram:
+    return StackedDram(timing=HMC_VAULT.with_row_bytes(row_bytes))
+
+
+def explore_fft(n: int = 2048, batch: int = 32,
+                frequencies: Sequence[float] = FREQUENCIES_HZ,
+                tile_counts: Sequence[int] = DEFAULT_TILE_COUNTS,
+                row_bytes_options: Sequence[int] = DEFAULT_ROW_BYTES,
+                block_options: Sequence[int] = DEFAULT_FFT_BLOCKS,
+                core_mults: Sequence[int] = DEFAULT_CORE_MULTS,
+                ) -> List[DesignPoint]:
+    """Evaluate the FFT accelerator design space."""
+    from repro.accel.synthesis import LogicBlock
+    points = []
+    params = FftParams(n=n, batch=batch, src_pa=0,
+                       dst_pa=n * batch * 8)
+    base_logic = FftAccelerator.logic
+    for row_bytes in row_bytes_options:
+        device = _stack(row_bytes)
+        for block in block_options:
+            for freq in frequencies:
+                for tiles in tile_counts:
+                    for mult in core_mults:
+                        core = FftAccelerator(block_elems=block,
+                                              tiles=tiles, freq_hz=freq)
+                        core.logic = LogicBlock(
+                            fpus=base_logic.fpus * mult,
+                            sram_kb=base_logic.sram_kb,
+                            extra_area=base_logic.extra_area * mult,
+                            extra_pw_per_ghz=(
+                                base_logic.extra_pw_per_ghz * mult))
+                        execution = core.model(device, params)
+                        prof = core.profile(params)
+                        points.append(DesignPoint(
+                            accelerator="FFT", freq_hz=freq,
+                            tiles=tiles, row_bytes=row_bytes,
+                            block_elems=block, core_mult=mult,
+                            gflops=(prof.flops
+                                    / execution.result.time / 1e9),
+                            power_w=execution.result.power))
+    return points
+
+
+def explore_spmv(n: int = 1 << 14, seed: int = 11,
+                 frequencies: Sequence[float] = FREQUENCIES_HZ,
+                 tile_counts: Sequence[int] = DEFAULT_TILE_COUNTS,
+                 row_bytes_options: Sequence[int] = DEFAULT_ROW_BYTES,
+                 ) -> List[DesignPoint]:
+    """Evaluate the SPMV accelerator design space."""
+    matrix = random_geometric_graph(n, seed=seed)
+    base = 0
+    params = SpmvParams(
+        rows=matrix.rows, cols=matrix.shape[1], nnz=matrix.nnz,
+        indptr_pa=base, indices_pa=base + (matrix.rows + 1) * 8,
+        data_pa=base + (matrix.rows + 1) * 8 + matrix.nnz * 8,
+        x_pa=base + (matrix.rows + 1) * 8 + matrix.nnz * 12,
+        y_pa=base + (matrix.rows + 1) * 8 + matrix.nnz * 12
+        + matrix.shape[1] * 4)
+    from repro.accel.synthesis import LogicBlock
+    base_logic = SpmvAccelerator.logic
+    points = []
+    for row_bytes in row_bytes_options:
+        device = _stack(row_bytes)
+        for freq in frequencies:
+            for tiles in tile_counts:
+                for mult in DEFAULT_CORE_MULTS:
+                    core = SpmvAccelerator(tiles=tiles, freq_hz=freq)
+                    core.logic = LogicBlock(
+                        fpus=base_logic.fpus * mult,
+                        sram_kb=base_logic.sram_kb,
+                        has_gather_engine=True,
+                        extra_pw_per_ghz=0.02 * (mult - 1))
+                    execution = core.model(device, params)
+                    prof = core.profile(params)
+                    points.append(DesignPoint(
+                        accelerator="SPMV", freq_hz=freq, tiles=tiles,
+                        row_bytes=row_bytes, block_elems=0,
+                        core_mult=mult,
+                        gflops=prof.flops / execution.result.time / 1e9,
+                        power_w=execution.result.power))
+    return points
+
+
+def efficiency_range(points: Sequence[DesignPoint]) -> tuple:
+    """(min, max) GFLOPS/W over a design-space cloud."""
+    effs = [p.gflops_per_watt for p in points]
+    return (min(effs), max(effs)) if effs else (0.0, 0.0)

@@ -1,0 +1,110 @@
+"""The DOT accelerator (cblas_sdot / cblas_cdotc_sub).
+
+Supports real and complex-conjugated dot products — the complex variant
+is what STAP's 16M ``cblas_cdotc_sub`` calls map to — with the strided
+access the BLAS interface allows. The scalar result is written back to a
+physical output address, matching the ``_sub`` (store-result) interface.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.accel.base import AcceleratorCore
+from repro.accel.synthesis import LogicBlock
+from repro.memmgmt.addrspace import UnifiedAddressSpace
+from repro.memsys.trace import StreamSpec
+from repro.mkl.profiles import OpProfile, cdotc_profile, dot_profile
+
+_FORMAT = struct.Struct("<qqqqiiB")
+
+DTYPE_F32 = 0
+DTYPE_C64 = 1
+
+
+@dataclass(frozen=True)
+class DotParams:
+    """Parameters of one DOT invocation.
+
+    Attributes:
+        n: elements per vector.
+        x_pa / y_pa: operand physical addresses.
+        out_pa: where the scalar result is stored.
+        incx / incy: element strides (BLAS increments).
+        dtype: DTYPE_F32 (sdot) or DTYPE_C64 (cdotc: conj(x).y).
+    """
+
+    n: int
+    x_pa: int
+    y_pa: int
+    out_pa: int
+    incx: int = 1
+    incy: int = 1
+    dtype: int = DTYPE_F32
+
+    #: address-typed fields, in stride-table order
+    ADDR_FIELDS = ('x_pa', 'y_pa', 'out_pa')
+    #: packed byte size of one parameter record
+    SIZE = _FORMAT.size
+
+    def pack(self) -> bytes:
+        return _FORMAT.pack(self.n, self.x_pa, self.y_pa, self.out_pa,
+                            self.incx, self.incy, self.dtype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "DotParams":
+        n, x_pa, y_pa, out_pa, incx, incy, dtype = _FORMAT.unpack(
+            data[:_FORMAT.size])
+        return cls(n=n, x_pa=x_pa, y_pa=y_pa, out_pa=out_pa, incx=incx,
+                   incy=incy, dtype=dtype)
+
+    @property
+    def elem_bytes(self) -> int:
+        return 8 if self.dtype == DTYPE_C64 else 4
+
+
+class DotAccelerator(AcceleratorCore):
+    """Dual-stream reduce: per-tile partial sums, NoC reduction tree."""
+
+    name = "DOT"
+    opcode = 2
+    logic = LogicBlock(fpus=4, sram_kb=2, extra_area=0.010,
+                       extra_pw_per_ghz=0.002)   # the reduction tree
+    params_type = DotParams
+
+    def run(self, space: UnifiedAddressSpace, params: DotParams) -> None:
+        np_dtype = np.complex64 if params.dtype == DTYPE_C64 else np.float32
+        span_x = 1 + (params.n - 1) * abs(params.incx)
+        span_y = 1 + (params.n - 1) * abs(params.incy)
+        x = space.pa_ndarray(params.x_pa, np_dtype, (span_x,))
+        y = space.pa_ndarray(params.y_pa, np_dtype, (span_y,))
+        xv = x[::params.incx] if params.incx != 1 else x
+        yv = y[::params.incy] if params.incy != 1 else y
+        if params.dtype == DTYPE_C64:
+            out = np.dot(np.conj(xv[:params.n]), yv[:params.n])
+        else:
+            out = np.dot(xv[:params.n], yv[:params.n])
+        space.pa_ndarray(params.out_pa, np_dtype, (1,))[0] = out
+
+    def profile(self, params: DotParams) -> OpProfile:
+        if params.dtype == DTYPE_C64:
+            return cdotc_profile(params.n)
+        return dot_profile(params.n)
+
+    def streams(self, params: DotParams) -> List[StreamSpec]:
+        eb = params.elem_bytes
+        out = []
+        for base, inc in ((params.x_pa, params.incx),
+                          (params.y_pa, params.incy)):
+            if abs(inc) == 1:
+                out.append(StreamSpec(base=base, n_elems=params.n,
+                                      elem_bytes=eb))
+            else:
+                out.append(StreamSpec(base=base, n_elems=params.n,
+                                      elem_bytes=eb, kind="strided",
+                                      stride=abs(inc) * eb))
+        return out

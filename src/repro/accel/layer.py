@@ -1,0 +1,97 @@
+"""The assembled accelerator layer.
+
+Bundles one instance of every Table 1 accelerator, the 4x4 mesh NoC, and
+the per-vault tiles; provides the registry the configuration unit
+dispatches on and the area/power accounting behind Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.accel.axpy import AxpyAccelerator
+from repro.accel.base import AcceleratorCore, DEFAULT_FREQ_HZ, DEFAULT_TILES
+from repro.accel.dot import DotAccelerator
+from repro.accel.fft import FftAccelerator
+from repro.accel.gemv import GemvAccelerator
+from repro.accel.noc import MeshNoc
+from repro.accel.reshp import ReshpAccelerator
+from repro.accel.resmp import ResmpAccelerator
+from repro.accel.spmv import SpmvAccelerator
+from repro.accel.synthesis import AREA_TSV_ARRAY, LAYER_AREA_BUDGET_MM2
+from repro.accel.tile import Tile, make_tiles
+
+ACCELERATOR_TYPES = (
+    AxpyAccelerator, DotAccelerator, GemvAccelerator, SpmvAccelerator,
+    ResmpAccelerator, FftAccelerator, ReshpAccelerator,
+)
+
+
+@dataclass(frozen=True)
+class ComponentBudget:
+    """One row of Table 5."""
+
+    component: str
+    power_w: Optional[float]
+    area_mm2: Optional[float]
+
+    def area_fraction(self) -> Optional[float]:
+        if self.area_mm2 is None:
+            return None
+        return self.area_mm2 / LAYER_AREA_BUDGET_MM2
+
+
+class AcceleratorLayer:
+    """All deployed accelerators plus tiles and NoC."""
+
+    def __init__(self, tiles: int = DEFAULT_TILES,
+                 freq_hz: float = DEFAULT_FREQ_HZ):
+        self.freq_hz = freq_hz
+        self.noc = MeshNoc()
+        self.tiles: Dict[int, Tile] = make_tiles(tiles)
+        self.accelerators: Dict[str, AcceleratorCore] = {}
+        for accel_type in ACCELERATOR_TYPES:
+            core = accel_type(tiles=tiles, freq_hz=freq_hz)
+            self.accelerators[core.name] = core
+
+    def accelerator(self, name: str) -> AcceleratorCore:
+        try:
+            return self.accelerators[name]
+        except KeyError:
+            raise KeyError(
+                f"no accelerator named {name!r}; deployed: "
+                f"{sorted(self.accelerators)}")
+
+    def by_opcode(self, opcode: int) -> AcceleratorCore:
+        for core in self.accelerators.values():
+            if core.opcode == opcode:
+                return core
+        raise KeyError(f"no accelerator with opcode {opcode}")
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self.accelerators)
+
+    # -- Table 5 accounting ---------------------------------------------------
+
+    def layer_area_mm2(self) -> float:
+        """Total area of accelerator-layer components (RESHP excluded —
+        it lives on the DRAM logic layer)."""
+        area = sum(core.area_mm2() for core in self.accelerators.values()
+                   if core.name != "RESHP")
+        return area + self.noc.area_mm2 + AREA_TSV_ARRAY
+
+    def area_budget_ok(self) -> bool:
+        return self.layer_area_mm2() <= LAYER_AREA_BUDGET_MM2
+
+    def peak_layer_power(self, dram_power_by_accel: Dict[str, float]
+                         ) -> float:
+        """The Table 5 'total' convention: accelerators never run
+        concurrently (each saturates the stack), so layer power is the
+        hungriest accelerator (logic + DRAM) plus the NoC."""
+        worst = max(
+            core.logic_power(self.freq_hz)
+            + dram_power_by_accel.get(core.name, 0.0)
+            for core in self.accelerators.values())
+        return worst + self.noc.power

@@ -1,0 +1,72 @@
+"""The accelerator-layer mesh network (Figure 4's NC grid).
+
+Sixteen tiles in a 4x4 mesh, XY-routed. The NoC carries inter-tile
+traffic for chained passes and the DOT reduction tree; its power and
+area enter Table 5 (1.44 mm^2, 0.095 W in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.synthesis import noc_area, noc_power
+
+
+@dataclass(frozen=True)
+class MeshNoc:
+    """A rows x cols mesh of routers with XY dimension-order routing.
+
+    Attributes:
+        rows / cols: mesh shape (4x4 for 16 vault tiles).
+        link_bw: per-link bandwidth, bytes/s.
+        hop_latency: per-hop router+link latency, seconds.
+        energy_per_byte_hop: transport energy, joules per byte per hop.
+    """
+
+    rows: int = 4
+    cols: int = 4
+    link_bw: float = 32e9
+    hop_latency: float = 2e-9
+    energy_per_byte_hop: float = 1.0e-12
+
+    @property
+    def tiles(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, tile: int):
+        if not 0 <= tile < self.tiles:
+            raise ValueError(f"tile {tile} outside {self.tiles}-tile mesh")
+        return divmod(tile, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        """XY-routing hop count between two tiles."""
+        (r1, c1), (r2, c2) = self.coords(src), self.coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def transfer_time(self, n_bytes: int, src: int, dst: int) -> float:
+        """Latency + serialisation of one tile-to-tile transfer."""
+        h = self.hops(src, dst)
+        if h == 0:
+            return 0.0
+        return h * self.hop_latency + n_bytes / self.link_bw
+
+    def transfer_energy(self, n_bytes: int, src: int, dst: int) -> float:
+        return n_bytes * self.hops(src, dst) * self.energy_per_byte_hop
+
+    @property
+    def power(self) -> float:
+        return noc_power(self.tiles)
+
+    @property
+    def area_mm2(self) -> float:
+        return noc_area(self.tiles)
+
+    def mean_hops(self) -> float:
+        """Average hop distance over all tile pairs (for reductions)."""
+        total, pairs = 0, 0
+        for a in range(self.tiles):
+            for b in range(self.tiles):
+                if a != b:
+                    total += self.hops(a, b)
+                    pairs += 1
+        return total / pairs if pairs else 0.0

@@ -1,0 +1,82 @@
+"""32 nm-class synthesis library: area and power of accelerator logic.
+
+Stands in for the paper's Synopsys Design Compiler flow. Each accelerator
+is assembled from counted components (FP datapath lanes, local SRAM,
+control, special engines); the constants below are in the published
+32 nm ballpark and are chosen so the assembled totals land near the
+paper's Table 5 (e.g. FFT 16.13 mm², SPMV 14.17 mm², NoC 1.44 mm²).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Area constants, mm^2.
+AREA_FPU = 0.012                 # one FP32 FMA lane incl. operand regs
+AREA_SRAM_PER_KB = 0.011         # local-memory SRAM macro
+AREA_CTRL = 0.030                # per-tile sequencer/AGU block
+AREA_ROUTER = 0.090              # one mesh router + link drivers
+AREA_TSV_ARRAY = 1.75            # the stack's TSV field (paper Table 5)
+AREA_GATHER_ENGINE = 0.100       # SPMV index/gather unit per tile
+
+#: Power constants, watts per GHz of clock (dynamic, at full activity).
+PW_FPU_PER_GHZ = 0.014
+PW_SRAM_PER_KB_PER_GHZ = 0.0008
+PW_CTRL_PER_GHZ = 0.004
+PW_GATHER_PER_GHZ = 0.030
+PW_ROUTER = 0.0059               # per router, mostly static+clock
+
+#: Total area budget of the accelerator layer (HMC 2011 die, Table 5).
+LAYER_AREA_BUDGET_MM2 = 68.0
+
+
+@dataclass(frozen=True)
+class LogicBlock:
+    """Synthesised logic of one accelerator tile.
+
+    Attributes:
+        fpus: FP32 lanes in the tile's PEs.
+        sram_kb: local-memory capacity in KiB.
+        has_gather_engine: SPMV-style index fetch/gather hardware.
+        extra_area: any special datapath area not covered above, mm^2.
+        extra_pw_per_ghz: matching power, W/GHz.
+    """
+
+    fpus: int
+    sram_kb: int
+    has_gather_engine: bool = False
+    extra_area: float = 0.0
+    extra_pw_per_ghz: float = 0.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Tile area in mm^2."""
+        area = (self.fpus * AREA_FPU
+                + self.sram_kb * AREA_SRAM_PER_KB
+                + AREA_CTRL + self.extra_area)
+        if self.has_gather_engine:
+            area += AREA_GATHER_ENGINE
+        return area
+
+    def power(self, freq_hz: float, activity: float = 1.0) -> float:
+        """Tile logic power in watts at ``freq_hz``.
+
+        ``activity`` scales the datapath (a bandwidth-starved accelerator
+        clocks its lanes but they switch less).
+        """
+        ghz = freq_hz / 1e9
+        pw = (self.fpus * PW_FPU_PER_GHZ
+              + self.sram_kb * PW_SRAM_PER_KB_PER_GHZ
+              + PW_CTRL_PER_GHZ + self.extra_pw_per_ghz)
+        if self.has_gather_engine:
+            pw += PW_GATHER_PER_GHZ
+        return pw * ghz * max(activity, 0.25)
+
+
+def noc_power(routers: int = 16) -> float:
+    """Mesh NoC power (routers + links)."""
+    return routers * PW_ROUTER
+
+
+def noc_area(routers: int = 16) -> float:
+    return routers * AREA_ROUTER

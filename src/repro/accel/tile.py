@@ -1,0 +1,69 @@
+"""One accelerator tile: PEs + local memory + network controller.
+
+Each tile sits under one vault controller (Figure 4). The tile holds the
+switch state the configuration unit programs: which PE (accelerator) is
+active and how its input/output ports are wired — to DRAM, or to another
+accelerator in the same pass (chaining through local memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Port wiring targets the switch supports.
+PORT_DRAM = "dram"
+PORT_CHAIN = "chain"
+
+
+@dataclass
+class SwitchConfig:
+    """Input/output wiring of the active PE in a tile."""
+
+    input_port: str = PORT_DRAM
+    output_port: str = PORT_DRAM
+
+    def __post_init__(self) -> None:
+        for port in (self.input_port, self.output_port):
+            if port not in (PORT_DRAM, PORT_CHAIN):
+                raise ValueError(f"unknown switch port {port!r}")
+
+
+@dataclass
+class Tile:
+    """A vault-attached accelerator tile.
+
+    Attributes:
+        vault: index of the vault this tile is bonded to.
+        local_memory_kb: shared LM capacity of the tile.
+        active_pe: name of the accelerator currently enabled (or None).
+        switch: current port wiring.
+    """
+
+    vault: int
+    local_memory_kb: int = 64
+    active_pe: Optional[str] = None
+    switch: SwitchConfig = field(default_factory=SwitchConfig)
+
+    def configure(self, pe_name: str, input_port: str = PORT_DRAM,
+                  output_port: str = PORT_DRAM) -> None:
+        """Program the tile for one pass (done by the decode unit)."""
+        self.active_pe = pe_name
+        self.switch = SwitchConfig(input_port=input_port,
+                                   output_port=output_port)
+
+    def release(self) -> None:
+        """Return the tile to idle at the end of a pass."""
+        self.active_pe = None
+        self.switch = SwitchConfig()
+
+    @property
+    def busy(self) -> bool:
+        return self.active_pe is not None
+
+
+def make_tiles(count: int = 16, local_memory_kb: int = 64
+               ) -> Dict[int, Tile]:
+    """The standard one-tile-per-vault arrangement."""
+    return {v: Tile(vault=v, local_memory_kb=local_memory_kb)
+            for v in range(count)}

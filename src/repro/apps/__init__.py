@@ -1,0 +1,18 @@
+"""Applications: STAP, SAR, and the Fig 1 suite proxies."""
+
+from repro.apps.sar import (SarConfig, run_sar_baseline, run_sar_mealib,
+                            sar_inputs, sar_source)
+from repro.apps.stap import (PAPER_PRESETS, PRESETS, StapConfig,
+                             StapGains, run_stap_baseline,
+                             run_stap_mealib, stap_gains, stap_inputs,
+                             stap_source)
+from repro.apps.suites import (BENCHMARKS, Fig1Row, SuiteBenchmark,
+                               library_speedups, suite_maxima)
+
+__all__ = [
+    "SarConfig", "run_sar_baseline", "run_sar_mealib", "sar_inputs",
+    "sar_source", "PAPER_PRESETS", "PRESETS", "StapConfig", "StapGains",
+    "run_stap_baseline", "run_stap_mealib", "stap_gains", "stap_inputs",
+    "stap_source", "BENCHMARKS", "Fig1Row", "SuiteBenchmark",
+    "library_speedups", "suite_maxima",
+]

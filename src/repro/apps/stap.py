@@ -1,0 +1,266 @@
+"""STAP (Space-Time Adaptive Processing) from the PERFECT suite.
+
+The paper's real-world application (Section 3.1, Listing 1; evaluated in
+Figs 13/14). The legacy program is written in the C subset and uses the
+five Table 4 library functions:
+
+1. corner turn — ``fftwf_plan_guru_dft`` rank-0 (→ RESHP);
+2. Doppler processing — batched ``fftwf_execute`` (→ FFT), chained with
+   the corner turn into one PASS by the compiler;
+3. covariance + weight solve — ``cblas_cherk`` / ``cpotrf`` /
+   ``cblas_ctrsm`` per (doppler, block), compute-bounded, kept on the
+   host;
+4. adaptive weighting — an OpenMP nest of ``cblas_cdotc_sub`` inner
+   products, collapsed by the compiler into one LOOP descriptor;
+5. detection normalisation — an OpenMP'd ``cblas_saxpy`` sweep, another
+   LOOP descriptor.
+
+That yields exactly 3 accelerator descriptors, as the paper reports for
+its 17 M-call STAP. Radar data is synthetic (the PERFECT input set is
+not redistributable); sizes are scaled so the functional run is
+laptop-fast, with the paper-size extrapolation handled by the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compiler.interp import RunOutcome, run_original, run_translated
+from repro.core.system import MealibSystem
+from repro.host.cpu import CpuModel
+
+
+@dataclass(frozen=True)
+class StapConfig:
+    """Dimensions of one STAP problem instance.
+
+    The datacube is stored pulse-major as ``[n_pulse][n_cr]`` where
+    ``n_cr`` is the channel*range product, so the corner turn is a
+    single 2-D transpose (which is also what lets the compiler chain it
+    with the Doppler FFT).
+    """
+
+    name: str
+    n_pulse: int          # Doppler FFT length (power of two)
+    n_cr: int             # channel x range product
+    n_dop: int            # doppler bins processed adaptively
+    n_blocks: int         # training blocks
+    tdof: int             # space-time degrees of freedom
+    n_steering: int       # steering vectors
+    tbs: int              # training-block snapshots
+
+    @property
+    def dot_calls(self) -> int:
+        return self.n_dop * self.n_blocks * self.n_steering * self.tbs
+
+    @property
+    def axpy_chunks(self) -> int:
+        return self.n_dop * self.n_blocks
+
+    @property
+    def library_calls(self) -> int:
+        """Total library calls in the original program."""
+        host = 4 * self.n_dop * self.n_blocks   # cherk+potrf+2 trsm
+        return 2 + host + self.dot_calls + self.axpy_chunks
+
+
+#: Functional presets: small enough that the numerics run in seconds,
+#: used by tests/examples to validate baseline == MEALib outputs.
+PRESETS: Dict[str, StapConfig] = {
+    "small": StapConfig(name="small", n_pulse=32, n_cr=64, n_dop=4,
+                        n_blocks=2, tdof=16, n_steering=4, tbs=24),
+    "medium": StapConfig(name="medium", n_pulse=64, n_cr=128, n_dop=6,
+                         n_blocks=2, tdof=24, n_steering=6, tbs=36),
+    "large": StapConfig(name="large", n_pulse=128, n_cr=256, n_dop=8,
+                        n_blocks=3, tdof=32, n_steering=8, tbs=48),
+}
+
+#: Paper-scale presets for the Fig 13/14 timing runs (timing models
+#: only; the large set reaches the paper's ~16.7M cdotc calls). The
+#: dimensions follow PERFECT STAP's scaling: DOF and steering grow with
+#: the set, the large set's adaptive-weighting nest hits 2^24 calls.
+PAPER_PRESETS: Dict[str, StapConfig] = {
+    "small": StapConfig(name="small", n_pulse=256, n_cr=8192, n_dop=128,
+                        n_blocks=4, tdof=80, n_steering=16, tbs=256),
+    "medium": StapConfig(name="medium", n_pulse=512, n_cr=12288,
+                         n_dop=192, n_blocks=4, tdof=80, n_steering=32,
+                         tbs=256),
+    "large": StapConfig(name="large", n_pulse=512, n_cr=16384, n_dop=256,
+                        n_blocks=4, tdof=72, n_steering=64, tbs=256),
+}
+
+
+def stap_source(cfg: StapConfig) -> str:
+    """The legacy STAP program in the C subset (Listing 1's shape)."""
+    c = cfg
+    det_len = c.n_dop * c.n_blocks * c.n_steering * c.tbs * 2
+    chunk = det_len // c.axpy_chunks
+    return f"""
+// STAP: Space-Time Adaptive Processing (PERFECT), MKL+FFTW+OpenMP
+#define N_PULSE {c.n_pulse}
+#define N_CR {c.n_cr}
+#define N_DOP {c.n_dop}
+#define N_BLOCKS {c.n_blocks}
+#define TDOF {c.tdof}
+#define N_STEERING {c.n_steering}
+#define TBS {c.tbs}
+#define DET_CHUNK {chunk}
+
+complex *datacube;
+complex *pulse_major;
+complex *doppler;
+complex snapshots[N_DOP][N_BLOCKS][TDOF][TBS];
+complex cov[N_DOP][N_BLOCKS][TDOF][TDOF];
+complex wts[N_DOP][N_BLOCKS][N_STEERING][TDOF];
+complex prods[N_DOP][N_BLOCKS][N_STEERING][TBS];
+float det_in[N_DOP][N_BLOCKS][DET_CHUNK];
+float det_out[N_DOP][N_BLOCKS][DET_CHUNK];
+fftwf_plan plan_ct;
+fftwf_plan plan_fft;
+fftw_iodim howmany_ct[2] = {{{{N_PULSE, N_CR, 1}}, {{N_CR, 1, N_PULSE}}}};
+fftw_iodim dims[1] = {{{{N_PULSE, 1, 1}}}};
+fftw_iodim howmany_fft[1] = {{{{N_CR, N_PULSE, N_PULSE}}}};
+int dop;
+int block;
+int sv;
+int cell;
+
+// data allocation
+datacube = malloc(sizeof(complex) * N_PULSE * N_CR);
+pulse_major = malloc(sizeof(complex) * N_CR * N_PULSE);
+doppler = malloc(sizeof(complex) * N_CR * N_PULSE);
+
+// data copy (corner turn) + Doppler FFT: chained by the compiler
+plan_ct = fftwf_plan_guru_dft(0, NULL, 2, howmany_ct,
+                              datacube, pulse_major,
+                              FFTW_FORWARD, FFTW_WISDOM_ONLY);
+plan_fft = fftwf_plan_guru_dft(1, dims, 1, howmany_fft,
+                               pulse_major, doppler,
+                               FFTW_FORWARD, FFTW_WISDOM_ONLY);
+fftwf_execute(plan_ct);
+fftwf_execute(plan_fft);
+
+// covariance estimation + weight solve: compute-bounded, on the host
+for (dop = 0; dop < N_DOP; ++dop) {{
+  for (block = 0; block < N_BLOCKS; ++block) {{
+    cblas_cherk(TDOF, TBS, 1.0, &snapshots[dop][block][0][0],
+                0.0, &cov[dop][block][0][0]);
+    cpotrf_lower(TDOF, &cov[dop][block][0][0]);
+    cblas_ctrsm_lower(TDOF, N_STEERING, &cov[dop][block][0][0],
+                      &wts[dop][block][0][0]);
+    cblas_ctrsm_upper(TDOF, N_STEERING, &cov[dop][block][0][0],
+                      &wts[dop][block][0][0]);
+  }}
+}}
+
+// multiple parallel inner products (adaptive weighting)
+#pragma omp parallel for
+for (dop = 0; dop < N_DOP; ++dop)
+  for (block = 0; block < N_BLOCKS; ++block)
+    for (sv = 0; sv < N_STEERING; ++sv)
+      for (cell = 0; cell < TBS; ++cell)
+        cblas_cdotc_sub(TDOF, &wts[dop][block][sv][0], 1,
+                        &snapshots[dop][block][0][cell], TBS,
+                        &prods[dop][block][sv][cell]);
+
+// detection normalisation (vector scaling and accumulate)
+#pragma omp parallel for
+for (dop = 0; dop < N_DOP; ++dop)
+  for (block = 0; block < N_BLOCKS; ++block)
+    cblas_saxpy(DET_CHUNK, 0.5, &det_in[dop][block][0], 1,
+                &det_out[dop][block][0], 1);
+
+free(datacube);
+"""
+
+
+def stap_inputs(cfg: StapConfig, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Synthetic radar returns + training snapshots + steering weights."""
+    c = cfg
+    rng = np.random.default_rng(seed)
+
+    def cnormal(*shape):
+        return (rng.standard_normal(shape)
+                + 1j * rng.standard_normal(shape)).astype(np.complex64)
+
+    snapshots = cnormal(c.n_dop, c.n_blocks, c.tdof, c.tbs)
+    # seed wts with the steering vectors (the solve runs in place)
+    steering = cnormal(c.n_steering, c.tdof)
+    wts = np.broadcast_to(
+        steering, (c.n_dop, c.n_blocks, c.n_steering, c.tdof)).copy()
+    det_len = c.dot_calls * 2 // c.axpy_chunks
+    return {
+        "datacube": cnormal(c.n_pulse, c.n_cr),
+        "snapshots": snapshots,
+        "wts": wts,
+        "det_in": rng.standard_normal(
+            (c.n_dop, c.n_blocks, det_len)).astype(np.float32),
+        "det_out": np.zeros((c.n_dop, c.n_blocks, det_len),
+                            dtype=np.float32),
+    }
+
+
+def run_stap_baseline(cfg: StapConfig, host: Optional[CpuModel] = None,
+                      seed: int = 0) -> RunOutcome:
+    """The optimised MKL+OpenMP baseline on the host CPU."""
+    return run_original(stap_source(cfg), host=host,
+                        inputs=stap_inputs(cfg, seed))
+
+
+def run_stap_mealib(cfg: StapConfig,
+                    system: Optional[MealibSystem] = None,
+                    seed: int = 0) -> RunOutcome:
+    """STAP compiled by the source-to-source compiler, run on MEALib."""
+    return run_translated(stap_source(cfg), system=system,
+                          inputs=stap_inputs(cfg, seed))
+
+
+@dataclass(frozen=True)
+class StapGains:
+    """One Fig 13 data point plus the Fig 14 breakdown inputs."""
+
+    preset: str
+    speedup: float
+    edp_gain: float
+    host_time_share: float
+    host_energy_share: float
+    invocation_time_share: float       # of total accelerator-side time
+    invocation_energy_share: float
+    accel_time_shares: Dict[str, float]
+    accel_energy_shares: Dict[str, float]
+    descriptors: int
+    original_calls: int
+
+
+def stap_gains(preset: str, system: Optional[MealibSystem] = None
+               ) -> StapGains:
+    """Run one paper-scale STAP set through both paths (timing models
+    only) and assemble the Fig 13/14 quantities."""
+    from repro.compiler.interp import baseline_timing
+    cfg = PAPER_PRESETS[preset]
+    source = stap_source(cfg)
+    baseline = baseline_timing(source)
+    sys_ = system if system is not None else MealibSystem(
+        stack_bytes=8 << 30)
+    mealib = run_translated(source, system=sys_, functional=False)
+    host, accel, invocation = sys_.breakdown()
+    total = sys_.total()
+    accel_side = accel.plus(invocation)
+    by_accel = sys_.ledger.by_label("accelerator")
+    return StapGains(
+        preset=preset,
+        speedup=baseline.result.time / mealib.result.time,
+        edp_gain=baseline.result.edp / mealib.result.edp,
+        host_time_share=host.time / total.time,
+        host_energy_share=host.energy / total.energy,
+        invocation_time_share=invocation.time / accel_side.time,
+        invocation_energy_share=invocation.energy / accel_side.energy,
+        accel_time_shares={k: v.time / accel.time
+                           for k, v in by_accel.items()},
+        accel_energy_shares={k: v.energy / accel.energy
+                             for k, v in by_accel.items()},
+        descriptors=mealib.descriptors,
+        original_calls=mealib.library_calls)

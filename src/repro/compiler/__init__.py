@@ -1,0 +1,30 @@
+"""The source-to-source compiler (Section 3.4) and its interpreters."""
+
+from repro.compiler.affine import Affine, AffineError
+from repro.compiler.cast import CParseError, Program, walk_calls
+from repro.compiler.cparser import parse_source
+from repro.compiler.interp import (ArrayRef, InterpError, RunOutcome,
+                                   run_original, run_translated)
+from repro.compiler.passes import (ChainStep, DescriptorStep, chain_pass,
+                                   group_descriptors, optimize)
+from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
+                                       HostCallStep, ParamsProto,
+                                       RecognizerError, Schedule,
+                                       recognize)
+from repro.compiler.semantics import (BufferInfo, CompileEnv, PlanSpec,
+                                      SemanticError, build_env)
+from repro.compiler.translate import (HOST_CALL_OVERHEAD_S,
+                                      TranslatedProgram, step_profile,
+                                      translate)
+
+__all__ = [
+    "Affine", "AffineError", "CParseError", "Program", "walk_calls",
+    "parse_source", "ArrayRef", "InterpError", "RunOutcome",
+    "run_original", "run_translated", "ChainStep", "DescriptorStep",
+    "chain_pass", "group_descriptors", "optimize", "AccelCallStep",
+    "AllocStep", "FreeStep", "HostCallStep", "ParamsProto",
+    "RecognizerError", "Schedule", "recognize", "BufferInfo",
+    "CompileEnv", "PlanSpec", "SemanticError", "build_env",
+    "HOST_CALL_OVERHEAD_S", "TranslatedProgram", "step_profile",
+    "translate",
+]

@@ -1,0 +1,71 @@
+"""Affine expressions over loop variables.
+
+The loop-compaction pass needs every pointer argument of a nested
+library call as ``base + sum(coef_v * v)`` in *bytes*: the constant part
+seeds the descriptor's parameter record, the coefficients become the
+LOOP stride table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+class AffineError(Exception):
+    """Raised when an expression is not affine in the loop variables."""
+
+
+@dataclass(frozen=True)
+class Affine:
+    """const + sum(coefs[v] * v) with integer coefficients."""
+
+    const: int = 0
+    coefs: Mapping[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        return Affine(const=int(value))
+
+    @staticmethod
+    def var(name: str) -> "Affine":
+        return Affine(const=0, coefs={name: 1})
+
+    @property
+    def is_constant(self) -> bool:
+        return not any(self.coefs.values())
+
+    def add(self, other: "Affine") -> "Affine":
+        coefs: Dict[str, int] = dict(self.coefs)
+        for name, coef in other.coefs.items():
+            coefs[name] = coefs.get(name, 0) + coef
+        return Affine(const=self.const + other.const,
+                      coefs={k: v for k, v in coefs.items() if v})
+
+    def sub(self, other: "Affine") -> "Affine":
+        return self.add(other.scale(-1))
+
+    def scale(self, factor: int) -> "Affine":
+        return Affine(const=self.const * factor,
+                      coefs={k: v * factor
+                             for k, v in self.coefs.items() if v * factor})
+
+    def mul(self, other: "Affine") -> "Affine":
+        if self.is_constant:
+            return other.scale(self.const)
+        if other.is_constant:
+            return self.scale(other.const)
+        raise AffineError("product of two loop-variant expressions is "
+                          "not affine")
+
+    def coef(self, var: str) -> int:
+        return self.coefs.get(var, 0)
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        total = self.const
+        for name, coef in self.coefs.items():
+            if coef:
+                if name not in values:
+                    raise AffineError(f"unbound loop variable {name!r}")
+                total += coef * values[name]
+        return total

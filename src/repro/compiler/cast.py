@@ -1,0 +1,151 @@
+"""AST for the C subset the source-to-source compiler consumes.
+
+The subset covers what the paper's legacy programs (Listing 1 and our
+apps) actually use: scalar/pointer/array declarations with optional
+brace initialisers, assignments, library calls, ``malloc``/``free``,
+canonical ``for`` loops, and ``#pragma omp parallel for`` annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+class CParseError(Exception):
+    """Raised on source the subset grammar cannot express."""
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Num:
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class Ident:
+    name: str
+
+
+@dataclass(frozen=True)
+class Call:
+    func: str
+    args: Tuple
+
+
+@dataclass(frozen=True)
+class Index:
+    """base[idx] — chains naturally: a[i][j] = Index(Index(a, i), j)."""
+
+    base: "Expr"
+    idx: "Expr"
+
+
+@dataclass(frozen=True)
+class AddrOf:
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Sizeof:
+    ctype: str
+
+
+@dataclass(frozen=True)
+class InitList:
+    """A brace initialiser: {a, b} or {{...}, {...}}."""
+
+    items: Tuple
+
+
+Expr = Union[Num, Ident, Call, Index, AddrOf, BinOp, Sizeof, InitList]
+
+
+# -- statements --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VarDecl:
+    ctype: str
+    name: str
+    pointer: bool = False
+    dims: Tuple = ()                 # array dimensions (Exprs)
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class For:
+    """Canonical loop: for (var = start; var < bound; var += step)."""
+
+    var: str
+    start: Expr
+    bound: Expr
+    step: int
+    body: Tuple
+    pragma_omp: bool = False
+
+
+Stmt = Union[VarDecl, Assign, ExprStmt, For]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed translation unit: defines + a flat statement list."""
+
+    defines: Tuple = ()              # (name, value) pairs
+    stmts: Tuple = ()
+
+
+def walk_calls(stmts) -> List[Call]:
+    """All Call expressions in statement order (loops not unrolled)."""
+    out: List[Call] = []
+
+    def visit_expr(e) -> None:
+        if isinstance(e, Call):
+            out.append(e)
+            for a in e.args:
+                visit_expr(a)
+        elif isinstance(e, Index):
+            visit_expr(e.base)
+            visit_expr(e.idx)
+        elif isinstance(e, AddrOf):
+            visit_expr(e.operand)
+        elif isinstance(e, BinOp):
+            visit_expr(e.left)
+            visit_expr(e.right)
+        elif isinstance(e, InitList):
+            for item in e.items:
+                visit_expr(item)
+
+    def visit_stmt(s) -> None:
+        if isinstance(s, VarDecl) and s.init is not None:
+            visit_expr(s.init)
+        elif isinstance(s, Assign):
+            visit_expr(s.value)
+        elif isinstance(s, ExprStmt):
+            visit_expr(s.expr)
+        elif isinstance(s, For):
+            for inner in s.body:
+                visit_stmt(inner)
+
+    for s in stmts:
+        visit_stmt(s)
+    return out

@@ -1,0 +1,96 @@
+"""Tokeniser for the C subset.
+
+Comments are stripped, ``#define`` lines become define records, and
+``#pragma omp parallel for`` lines become pragma tokens attached to the
+stream so the parser can mark the following loop.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.compiler.cast import CParseError
+
+#: Multi-character operators, longest first.
+_OPERATORS = ("<<=", ">>=", "++", "--", "+=", "-=", "*=", "/=", "<=",
+              ">=", "==", "!=", "&&", "||")
+
+_PUNCT = set("()[]{};,&*+-/%<>=!")
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"(\d+\.\d*([eE][+-]?\d+)?[fF]?|\.\d+[fF]?|"
+                     r"\d+([eE][+-]?\d+)?[fFuUlL]*|0[xX][0-9a-fA-F]+)")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'id' | 'num' | 'op' | 'pragma'
+    text: str
+    line: int
+
+
+def _strip_comments(source: str) -> str:
+    source = re.sub(r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"),
+                    source, flags=re.S)
+    return re.sub(r"//[^\n]*", "", source)
+
+
+def tokenize(source: str) -> Tuple[List[Token], List[Tuple[str, str]]]:
+    """Return (tokens, defines). Defines are raw (name, value) strings."""
+    tokens: List[Token] = []
+    defines: List[Tuple[str, str]] = []
+    for lineno, raw_line in enumerate(_strip_comments(source).splitlines(),
+                                      start=1):
+        line = raw_line.strip()
+        if line.startswith("#define"):
+            parts = line.split(None, 2)
+            if len(parts) != 3:
+                raise CParseError(
+                    f"line {lineno}: malformed #define {line!r}")
+            defines.append((parts[1], parts[2]))
+            continue
+        if line.startswith("#pragma"):
+            if "omp" in line and "parallel" in line and "for" in line:
+                tokens.append(Token("pragma", line, lineno))
+            continue
+        pos = 0
+        while pos < len(line):
+            ch = line[pos]
+            if ch.isspace():
+                pos += 1
+                continue
+            id_match = _ID_RE.match(line, pos)
+            if id_match:
+                tokens.append(Token("id", id_match.group(0), lineno))
+                pos = id_match.end()
+                continue
+            num_match = _NUM_RE.match(line, pos)
+            if num_match:
+                tokens.append(Token("num", num_match.group(0), lineno))
+                pos = num_match.end()
+                continue
+            for op in _OPERATORS:
+                if line.startswith(op, pos):
+                    tokens.append(Token("op", op, lineno))
+                    pos += len(op)
+                    break
+            else:
+                if ch in _PUNCT:
+                    tokens.append(Token("op", ch, lineno))
+                    pos += 1
+                else:
+                    raise CParseError(
+                        f"line {lineno}: unexpected character {ch!r}")
+    return tokens, defines
+
+
+def parse_number(text: str):
+    """Convert a numeric literal token to int or float."""
+    cleaned = text.rstrip("fFuUlL")
+    if cleaned.startswith(("0x", "0X")):
+        return int(cleaned, 16)
+    if any(c in cleaned for c in ".eE") and not cleaned.startswith("0x"):
+        return float(cleaned)
+    return int(cleaned)

@@ -1,0 +1,117 @@
+"""Pass-1 optimisations: accelerator chaining and descriptor grouping.
+
+Two rewrites over the recognizer's schedule, straight from the paper:
+
+* *chaining* — an accelerated call immediately followed by another whose
+  input is the first one's output becomes one PASS (the STAP corner
+  turn + Doppler FFT, the SAR interpolation + FFT);
+* *descriptor grouping* — maximal runs of accelerated steps with no
+  intervening host work collapse into a single accelerator descriptor
+  (STAP's 17 M library calls end up in 3 descriptors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
+                                       HostCallStep, Schedule)
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """Several accelerated calls fused into one PASS."""
+
+    steps: Tuple[AccelCallStep, ...]
+
+    @property
+    def in_bufs(self) -> Tuple[str, ...]:
+        return self.steps[0].in_bufs
+
+    @property
+    def out_bufs(self) -> Tuple[str, ...]:
+        return self.steps[-1].out_bufs
+
+    @property
+    def calls(self) -> int:
+        return sum(s.calls for s in self.steps)
+
+
+@dataclass(frozen=True)
+class DescriptorStep:
+    """A maximal group of accel work lowered to one descriptor."""
+
+    items: Tuple
+
+
+@dataclass
+class TranslatedSchedule:
+    """The grouped schedule a translated program executes."""
+
+    env: object
+    items: List = field(default_factory=list)
+
+    def descriptor_count(self) -> int:
+        return sum(1 for item in self.items
+                   if isinstance(item, DescriptorStep))
+
+
+def _chainable(a: AccelCallStep, b: AccelCallStep) -> bool:
+    """b can chain onto a: same (non-)loop shape and a feeds b."""
+    if a.trips or b.trips:
+        return False            # looped steps keep their own pass
+    produced = set(a.out_bufs)
+    return bool(produced & set(b.in_bufs))
+
+
+def chain_pass(schedule: Schedule) -> List:
+    """Fuse producer->consumer accelerated neighbours into ChainSteps."""
+    out: List = []
+    for step in schedule.steps:
+        if (isinstance(step, AccelCallStep) and out
+                and isinstance(out[-1], (AccelCallStep, ChainStep))):
+            prev = out[-1]
+            tail = prev.steps[-1] if isinstance(prev, ChainStep) else prev
+            if _chainable(tail, step):
+                steps = (prev.steps if isinstance(prev, ChainStep)
+                         else (prev,)) + (step,)
+                out[-1] = ChainStep(steps=steps)
+                continue
+        out.append(step)
+    return out
+
+
+def group_descriptors(steps: List) -> TranslatedSchedule:
+    """Collapse maximal accel runs into DescriptorSteps.
+
+    A LOOP-compacted step always gets a descriptor of its own (matching
+    the paper's one-descriptor-per-OpenMP-nest translation of STAP);
+    adjacent non-looped steps and chains share one descriptor.
+    """
+    items: List = []
+    run: List = []
+
+    def flush() -> None:
+        if run:
+            items.append(DescriptorStep(items=tuple(run)))
+            run.clear()
+
+    for step in steps:
+        if isinstance(step, AccelCallStep) and step.looped:
+            flush()
+            items.append(DescriptorStep(items=(step,)))
+        elif isinstance(step, (AccelCallStep, ChainStep)):
+            run.append(step)
+        else:
+            flush()
+            items.append(step)
+    flush()
+    return items
+
+
+def optimize(schedule: Schedule) -> TranslatedSchedule:
+    """Run both rewrites; returns the grouped, translated schedule."""
+    chained = chain_pass(schedule)
+    items = group_descriptors(chained)
+    return TranslatedSchedule(env=schedule.env, items=items)

@@ -1,0 +1,523 @@
+"""Pass 1: library-call identification and loop analysis.
+
+Walks the program in statement order and produces a *schedule* of steps:
+allocations, host (compute-bounded) library calls, accelerated calls —
+single or collapsed from an OpenMP loop nest into one looped step with a
+mixed-radix stride table — and plan bookkeeping for the FFTW guru
+interface (rank-0 plans become RESHP invocations, rank-1 plans become
+FFT invocations, exactly as the paper maps them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accel.axpy import AxpyParams
+from repro.accel.base import StrideTable
+from repro.accel.dot import DTYPE_C64, DTYPE_F32, DotParams
+from repro.accel.fft import FftParams
+from repro.accel.gemv import GemvParams
+from repro.accel.reshp import ReshpParams
+from repro.accel.resmp import ResmpParams
+from repro.accel.spmv import SpmvParams
+from repro.compiler.affine import Affine, AffineError
+from repro.compiler.cast import (Assign, Call, ExprStmt, For, Ident, Num,
+                                 Program, VarDecl)
+from repro.compiler.semantics import (BufferInfo, CompileEnv, IoDimSpec,
+                                      PlanSpec, SemanticError, build_env)
+
+
+class RecognizerError(Exception):
+    """Raised when a program uses the libraries in unsupported ways."""
+
+
+# -- schedule steps ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class AllocStep:
+    buffer: str
+
+
+@dataclass(frozen=True)
+class FreeStep:
+    buffer: str
+
+
+@dataclass(frozen=True)
+class HostCallStep:
+    """A compute-bounded library call left on the CPU."""
+
+    func: str
+    args: Tuple
+    trips: Tuple[int, ...] = ()
+    loop_vars: Tuple[str, ...] = ()
+
+    @property
+    def calls(self) -> int:
+        total = 1
+        for t in self.trips:
+            total *= t
+        return total
+
+
+@dataclass(frozen=True)
+class ParamsProto:
+    """An accelerator parameter record with symbolic addresses.
+
+    ``scalars`` are resolved values; ``addrs`` map address fields to
+    (buffer name, affine byte offset in the loop variables).
+    """
+
+    params_type: type
+    scalars: Dict[str, object]
+    addrs: Dict[str, Tuple[str, Affine]]
+
+    def instantiate(self, pa_of: Dict[str, int],
+                    loop_values: Optional[Dict[str, int]] = None):
+        values = dict(self.scalars)
+        env = loop_values or {}
+        for fld, (buf, offset) in self.addrs.items():
+            values[fld] = pa_of[buf] + offset.evaluate(env)
+        return self.params_type(**values)
+
+    def stride_table(self, loop_vars: Sequence[str],
+                     trips: Sequence[int]) -> StrideTable:
+        deltas = {}
+        for fld in self.params_type.ADDR_FIELDS:
+            if fld in self.addrs:
+                _, offset = self.addrs[fld]
+                deltas[fld] = tuple(offset.coef(v) for v in loop_vars)
+            else:
+                deltas[fld] = (0,) * len(loop_vars)
+        return StrideTable(trips=tuple(trips), deltas=deltas)
+
+
+@dataclass(frozen=True)
+class AccelCallStep:
+    """One accelerated call site, possibly looped."""
+
+    accel: str
+    proto: ParamsProto
+    in_bufs: Tuple[str, ...]
+    out_bufs: Tuple[str, ...]
+    trips: Tuple[int, ...] = ()
+    loop_vars: Tuple[str, ...] = ()
+
+    @property
+    def looped(self) -> bool:
+        return bool(self.trips)
+
+    @property
+    def calls(self) -> int:
+        total = 1
+        for t in self.trips:
+            total *= t
+        return total
+
+
+Step = object
+
+
+@dataclass
+class Schedule:
+    """The recognizer's output: environment + ordered steps."""
+
+    env: CompileEnv
+    steps: List[Step] = field(default_factory=list)
+
+    def accel_steps(self) -> List[AccelCallStep]:
+        return [s for s in self.steps if isinstance(s, AccelCallStep)]
+
+    def total_library_calls(self) -> int:
+        """Calls in the original program (loops expanded) — the number
+        the paper's Fig 14 compaction claim counts."""
+        total = 0
+        for step in self.steps:
+            if isinstance(step, (AccelCallStep, HostCallStep)):
+                total += step.calls
+        return total
+
+
+#: Functions executed on the host (compute-bounded, Table 4).
+HOST_FUNCTIONS = {"cblas_cherk", "cblas_ctrsm_lower", "cblas_ctrsm_upper",
+                  "cpotrf_lower"}
+
+#: Functions recognised as accelerator targets (Table 1).
+ACCEL_FUNCTIONS = {"cblas_saxpy", "cblas_sdot_sub", "cblas_cdotc_sub",
+                   "cblas_sgemv", "mkl_scsrgemv", "dfsInterpolate1D",
+                   "fftwf_execute", "mkl_simatcopy", "mkl_somatcopy"}
+
+
+class Recognizer:
+    """Builds a :class:`Schedule` from a parsed program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.env = build_env(program)
+        self.schedule = Schedule(env=self.env)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _const(self, expr) -> int:
+        try:
+            return self.env.eval_const(expr)
+        except SemanticError as exc:
+            raise RecognizerError(str(exc)) from exc
+
+    def _addr(self, expr) -> Tuple[str, Affine]:
+        try:
+            return self.env.buffer_address(expr)
+        except (SemanticError, AffineError) as exc:
+            raise RecognizerError(str(exc)) from exc
+
+    def _buffer(self, name: str) -> BufferInfo:
+        return self.env.buffers[name]
+
+    # -- top-level walk -------------------------------------------------------
+
+    def run(self) -> Schedule:
+        self._walk(self.program.stmts, loop_vars=(), trips=())
+        return self.schedule
+
+    def _walk(self, stmts, loop_vars, trips) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, VarDecl):
+                continue                    # handled by build_env
+            elif isinstance(stmt, Assign):
+                self._handle_assign(stmt, loop_vars)
+            elif isinstance(stmt, ExprStmt) and isinstance(stmt.expr,
+                                                           Call):
+                self._handle_call(stmt.expr, loop_vars, trips)
+            elif isinstance(stmt, For):
+                self._handle_for(stmt, loop_vars, trips)
+            else:
+                raise RecognizerError(f"unsupported statement {stmt!r}")
+
+    def _handle_for(self, loop: For, loop_vars, trips) -> None:
+        start = self._const(loop.start)
+        bound = self._const(loop.bound)
+        if start != 0 or loop.step != 1:
+            raise RecognizerError("only canonical 0..N-1 unit-step loops "
+                                  "are supported for compaction")
+        count = bound
+        if count <= 0:
+            raise RecognizerError("loop trip count must be positive")
+        self._walk(loop.body, loop_vars + (loop.var,), trips + (count,))
+
+    def _handle_assign(self, stmt: Assign, loop_vars) -> None:
+        if loop_vars:
+            raise RecognizerError("assignments inside OpenMP nests are "
+                                  "not supported")
+        value = stmt.value
+        if isinstance(value, Call) and value.func == "malloc":
+            if not isinstance(stmt.target, Ident):
+                raise RecognizerError("malloc must assign a pointer "
+                                      "variable")
+            buf = self._buffer(stmt.target.name)
+            size = self._const(value.args[0])
+            buf.count = size // buf.elem_size
+            self.schedule.steps.append(AllocStep(buffer=buf.name))
+            return
+        if isinstance(value, Call) and value.func == "fftwf_plan_guru_dft":
+            if not isinstance(stmt.target, Ident):
+                raise RecognizerError("plan must assign a plan variable")
+            self._record_plan(stmt.target.name, value)
+            return
+        raise RecognizerError(f"unsupported assignment {stmt!r}")
+
+    # -- plan handling -------------------------------------------------------
+
+    def _record_plan(self, name: str, call: Call) -> None:
+        args = call.args
+        if len(args) != 8:
+            raise RecognizerError("fftwf_plan_guru_dft takes 8 arguments")
+        rank = self._const(args[0])
+        dims = self._iodims(args[1], rank)
+        howmany_rank = self._const(args[2])
+        howmany = self._iodims(args[3], howmany_rank)
+        src, src_off = self._addr(args[4])
+        dst, dst_off = self._addr(args[5])
+        sign = self._const(args[6])
+        if not src_off.is_constant or not dst_off.is_constant:
+            raise RecognizerError("plan buffers must not depend on loop "
+                                  "variables")
+        self.env.plans[name] = PlanSpec(
+            name=name, rank=rank, dims=dims, howmany=howmany, src=src,
+            src_offset=src_off.const, dst=dst, dst_offset=dst_off.const,
+            sign=sign)
+
+    def _iodims(self, expr, rank: int) -> List[IoDimSpec]:
+        if rank == 0:
+            return []
+        if isinstance(expr, Ident) and expr.name in self.env.iodims:
+            dims = self.env.iodims[expr.name]
+            if len(dims) != rank:
+                raise RecognizerError(
+                    f"iodim array {expr.name!r} has {len(dims)} entries, "
+                    f"rank says {rank}")
+            return dims
+        raise RecognizerError("dims argument must name an fftw_iodim "
+                              "array")
+
+    # -- call dispatch ----------------------------------------------------------
+
+    def _handle_call(self, call: Call, loop_vars, trips) -> None:
+        name = call.func
+        if name == "free":
+            if loop_vars:
+                raise RecognizerError("free inside a loop nest")
+            target = call.args[0]
+            if not isinstance(target, Ident):
+                raise RecognizerError("free takes a buffer name")
+            self.schedule.steps.append(FreeStep(buffer=target.name))
+            return
+        if name in HOST_FUNCTIONS:
+            self.schedule.steps.append(HostCallStep(
+                func=name, args=call.args, trips=trips,
+                loop_vars=loop_vars))
+            return
+        if name not in ACCEL_FUNCTIONS:
+            raise RecognizerError(f"unknown library call {name!r}")
+        builder = getattr(self, f"_build_{name}", None)
+        if builder is None:
+            raise RecognizerError(f"no builder for {name!r}")
+        step = builder(call, loop_vars, trips)
+        self.schedule.steps.append(step)
+
+    def _accel_step(self, accel, proto, in_bufs, out_bufs, loop_vars,
+                    trips) -> AccelCallStep:
+        return AccelCallStep(accel=accel, proto=proto,
+                             in_bufs=tuple(in_bufs),
+                             out_bufs=tuple(out_bufs),
+                             trips=tuple(trips),
+                             loop_vars=tuple(loop_vars))
+
+    # -- builders, one per Table 1 function -------------------------------------
+
+    def _build_cblas_saxpy(self, call, loop_vars, trips):
+        n, alpha, x, incx, y, incy = call.args
+        if self._const(incx) != 1 or self._const(incy) != 1:
+            raise RecognizerError("accelerated saxpy requires unit "
+                                  "strides")
+        xbuf, xoff = self._addr(x)
+        ybuf, yoff = self._addr(y)
+        proto = ParamsProto(
+            params_type=AxpyParams,
+            scalars={"n": self._const(n),
+                     "alpha": float(self._const(alpha))},
+            addrs={"x_pa": (xbuf, xoff), "y_pa": (ybuf, yoff)})
+        return self._accel_step("AXPY", proto, [xbuf, ybuf], [ybuf],
+                                loop_vars, trips)
+
+    def _dot_step(self, call, loop_vars, trips, dtype):
+        n, x, incx, y, incy, out = call.args
+        xbuf, xoff = self._addr(x)
+        ybuf, yoff = self._addr(y)
+        obuf, ooff = self._addr(out)
+        proto = ParamsProto(
+            params_type=DotParams,
+            scalars={"n": self._const(n), "incx": self._const(incx),
+                     "incy": self._const(incy), "dtype": dtype},
+            addrs={"x_pa": (xbuf, xoff), "y_pa": (ybuf, yoff),
+                   "out_pa": (obuf, ooff)})
+        return self._accel_step("DOT", proto, [xbuf, ybuf], [obuf],
+                                loop_vars, trips)
+
+    def _build_cblas_sdot_sub(self, call, loop_vars, trips):
+        return self._dot_step(call, loop_vars, trips, DTYPE_F32)
+
+    def _build_cblas_cdotc_sub(self, call, loop_vars, trips):
+        return self._dot_step(call, loop_vars, trips, DTYPE_C64)
+
+    def _build_cblas_sgemv(self, call, loop_vars, trips):
+        (order, trans, m, n, alpha, a, lda, x, incx, beta, y,
+         incy) = call.args
+        if self._const(order) != 101 or self._const(trans) != 111:
+            raise RecognizerError("accelerated sgemv supports row-major "
+                                  "no-transpose only")
+        if self._const(incx) != 1 or self._const(incy) != 1:
+            raise RecognizerError("accelerated sgemv requires unit "
+                                  "strides")
+        m_val, n_val = self._const(m), self._const(n)
+        if self._const(lda) != n_val:
+            raise RecognizerError("accelerated sgemv requires lda == n")
+        abuf, aoff = self._addr(a)
+        xbuf, xoff = self._addr(x)
+        ybuf, yoff = self._addr(y)
+        proto = ParamsProto(
+            params_type=GemvParams,
+            scalars={"m": m_val, "n": n_val,
+                     "alpha": float(self._const(alpha)),
+                     "beta": float(self._const(beta))},
+            addrs={"a_pa": (abuf, aoff), "x_pa": (xbuf, xoff),
+                   "y_pa": (ybuf, yoff)})
+        return self._accel_step("GEMV", proto, [abuf, xbuf, ybuf], [ybuf],
+                                loop_vars, trips)
+
+    def _build_mkl_scsrgemv(self, call, loop_vars, trips):
+        m, a, ia, ja, x, y = call.args
+        rows = self._const(m)
+        abuf, _ = self._addr(a)
+        ibuf, ioff = self._addr(ia)
+        jbuf, joff = self._addr(ja)
+        xbuf, xoff = self._addr(x)
+        ybuf, yoff = self._addr(y)
+        nnz = self._buffer(abuf).count
+        proto = ParamsProto(
+            params_type=SpmvParams,
+            scalars={"rows": rows, "cols": rows, "nnz": nnz,
+                     "locality_bytes": 0},
+            addrs={"indptr_pa": (ibuf, ioff), "indices_pa": (jbuf, joff),
+                   "data_pa": (abuf, Affine.constant(0)),
+                   "x_pa": (xbuf, xoff), "y_pa": (ybuf, yoff)})
+        return self._accel_step("SPMV", proto,
+                                [abuf, ibuf, jbuf, xbuf], [ybuf],
+                                loop_vars, trips)
+
+    def _build_dfsInterpolate1D(self, call, loop_vars, trips):
+        blocks, n_in, knots, series, n_out, sites, out = call.args
+        kbuf, koff = self._addr(knots)
+        ibuf, ioff = self._addr(series)
+        sbuf, soff = self._addr(sites)
+        obuf, ooff = self._addr(out)
+        proto = ParamsProto(
+            params_type=ResmpParams,
+            scalars={"blocks": self._const(blocks),
+                     "n_in": self._const(n_in),
+                     "n_out": self._const(n_out)},
+            addrs={"in_pa": (ibuf, ioff), "sites_pa": (sbuf, soff),
+                   "out_pa": (obuf, ooff), "knots_pa": (kbuf, koff)})
+        return self._accel_step("RESMP", proto, [kbuf, ibuf, sbuf],
+                                [obuf], loop_vars, trips)
+
+    def _build_mkl_simatcopy(self, call, loop_vars, trips):
+        rows, cols, alpha, ab = call.args
+        if float(self._const(alpha)) != 1.0:
+            raise RecognizerError("accelerated simatcopy requires "
+                                  "alpha == 1")
+        buf, off = self._addr(ab)
+        proto = ParamsProto(
+            params_type=ReshpParams,
+            scalars={"rows": self._const(rows),
+                     "cols": self._const(cols),
+                     "elem_bytes": self._buffer(buf).elem_size},
+            addrs={"src_pa": (buf, off), "dst_pa": (buf, off)})
+        return self._accel_step("RESHP", proto, [buf], [buf], loop_vars,
+                                trips)
+
+    def _build_mkl_somatcopy(self, call, loop_vars, trips):
+        rows, cols, alpha, a, b = call.args
+        if float(self._const(alpha)) != 1.0:
+            raise RecognizerError("accelerated somatcopy requires "
+                                  "alpha == 1")
+        abuf, aoff = self._addr(a)
+        bbuf, boff = self._addr(b)
+        proto = ParamsProto(
+            params_type=ReshpParams,
+            scalars={"rows": self._const(rows),
+                     "cols": self._const(cols),
+                     "elem_bytes": self._buffer(abuf).elem_size},
+            addrs={"src_pa": (abuf, aoff), "dst_pa": (bbuf, boff)})
+        return self._accel_step("RESHP", proto, [abuf], [bbuf],
+                                loop_vars, trips)
+
+    def _build_fftwf_execute(self, call, loop_vars, trips):
+        arg = call.args[0]
+        if not isinstance(arg, Ident) or arg.name not in self.env.plans:
+            raise RecognizerError("fftwf_execute takes a prepared plan")
+        plan = self.env.plans[arg.name]
+        if plan.rank == 0:
+            return self._reshape_from_plan(plan, loop_vars, trips)
+        if plan.rank == 1:
+            return self._fft_from_plan(plan, loop_vars, trips)
+        raise RecognizerError("only rank-0 and rank-1 guru plans are "
+                              "supported")
+
+    def _fft_from_plan(self, plan: PlanSpec, loop_vars, trips):
+        dim = plan.dims[0]
+        if dim.istride != 1 or dim.ostride != 1:
+            raise RecognizerError("accelerated FFT needs unit transform "
+                                  "stride (reshape first)")
+        batch = 1
+        for hd in plan.howmany:
+            batch *= hd.n
+        proto = ParamsProto(
+            params_type=FftParams,
+            scalars={"n": dim.n, "batch": batch, "sign": plan.sign},
+            addrs={"src_pa": (plan.src,
+                              Affine.constant(plan.src_offset)),
+                   "dst_pa": (plan.dst,
+                              Affine.constant(plan.dst_offset))})
+        return self._accel_step("FFT", proto, [plan.src], [plan.dst],
+                                loop_vars, trips)
+
+    def _reshape_from_plan(self, plan: PlanSpec, loop_vars, trips):
+        batch, rows, cols = analyze_corner_turn(plan.howmany)
+        elem = self._buffer(plan.src).elem_size
+        proto = ParamsProto(
+            params_type=ReshpParams,
+            scalars={"rows": rows, "cols": cols, "elem_bytes": elem},
+            addrs={"src_pa": (plan.src,
+                              Affine.constant(plan.src_offset)),
+                   "dst_pa": (plan.dst,
+                              Affine.constant(plan.dst_offset))})
+        step_trips = tuple(trips)
+        step_vars = tuple(loop_vars)
+        if batch > 1:
+            # batched corner turn: a LOOP over per-slab transposes
+            var = f"__reshp_batch_{len(self.schedule.steps)}"
+            slab = rows * cols * elem
+            proto = ParamsProto(
+                params_type=proto.params_type,
+                scalars=proto.scalars,
+                addrs={"src_pa": (plan.src, Affine(
+                    const=plan.src_offset, coefs={var: slab})),
+                    "dst_pa": (plan.dst, Affine(
+                        const=plan.dst_offset, coefs={var: slab}))})
+            step_trips = step_trips + (batch,)
+            step_vars = step_vars + (var,)
+        return self._accel_step("RESHP", proto, [plan.src], [plan.dst],
+                                step_vars, step_trips)
+
+
+def analyze_corner_turn(howmany: List[IoDimSpec]):
+    """Classify a rank-0 guru plan as (batch, rows, cols) transpose.
+
+    Dims are sorted input-major; a contiguous prefix with identical
+    input/output layout is the batch; the remaining two dims must be a
+    swap (rows x cols transposed). This covers the STAP corner turn and
+    every 2-D/batched-2-D layout change our workloads perform.
+    """
+    dims = sorted(howmany, key=lambda d: -d.istride)
+    # verify the input side is dense
+    expected = 1
+    for d in reversed(dims):
+        if d.istride != expected:
+            raise RecognizerError("corner-turn input is not dense")
+        expected *= d.n
+    out_sorted = sorted(dims, key=lambda d: -d.ostride)
+    expected = 1
+    for d in reversed(out_sorted):
+        if d.ostride != expected:
+            raise RecognizerError("corner-turn output is not dense")
+        expected *= d.n
+    batch = 1
+    idx = 0
+    while idx < len(dims) and dims[idx] is out_sorted[idx]:
+        batch *= dims[idx].n
+        idx += 1
+    rest_in = dims[idx:]
+    rest_out = out_sorted[idx:]
+    if len(rest_in) == 0:
+        return batch, 1, 1                     # pure copy
+    if len(rest_in) == 2 and rest_in[0] is rest_out[1] \
+            and rest_in[1] is rest_out[0]:
+        return batch, rest_in[0].n, rest_in[1].n
+    raise RecognizerError("layout change is not a (batched) 2-D "
+                          "transpose")
+
+
+def recognize(program: Program) -> Schedule:
+    """Run pass 1 over a parsed program."""
+    return Recognizer(program).run()

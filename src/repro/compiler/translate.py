@@ -1,0 +1,117 @@
+"""Pass 2 + lowering: from schedules to runnable translated programs.
+
+``translate`` drives the whole compiler: parse -> recognise -> chain ->
+group. The result is a :class:`TranslatedProgram` whose descriptor steps
+carry everything needed to emit TDL + parameter files once buffer
+addresses are known (pass 2's malloc/free substitution happens here too:
+AllocSteps become ``mealib_mem_alloc`` at run time).
+
+``step_profile`` maps any step to its operation profile — used both to
+time the *original* program on a host CPU model and to time translated
+host-side calls. Keeping one mapping guarantees the baseline and MEALib
+run the same operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.compiler.cast import Program
+from repro.compiler.cparser import parse_source
+from repro.compiler.passes import (ChainStep, DescriptorStep,
+                                   TranslatedSchedule, optimize)
+from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
+                                       HostCallStep, RecognizerError,
+                                       Schedule, recognize)
+from repro.compiler.semantics import CompileEnv
+from repro.mkl.profiles import (OpProfile, axpy_profile, cdotc_profile,
+                                cherk_profile, ctrsm_profile, dot_profile,
+                                fft_profile, gemv_profile, reshp_profile,
+                                resmp_profile, spmv_profile)
+
+#: Fixed host cost per library-call invocation (dispatch, OpenMP
+#: scheduling); what makes 16M tiny cdotc calls expensive even on the
+#: baseline, and what the LOOP compaction removes on MEALib.
+HOST_CALL_OVERHEAD_S = 100e-9
+
+
+@dataclass
+class TranslatedProgram:
+    """The compiler's output, ready for the interpreters."""
+
+    source_program: Program
+    env: CompileEnv
+    schedule: Schedule                 # pre-optimisation (call sites)
+    items: List                        # grouped: Alloc/Free/Host/Descriptor
+
+    def descriptor_count(self) -> int:
+        return sum(1 for i in self.items
+                   if isinstance(i, DescriptorStep))
+
+    def original_call_count(self) -> int:
+        return self.schedule.total_library_calls()
+
+
+def translate(source: Union[str, Program]) -> TranslatedProgram:
+    """Compile C-subset source (or a parsed Program)."""
+    program = (parse_source(source) if isinstance(source, str)
+               else source)
+    schedule = recognize(program)
+    grouped = optimize(schedule)
+    return TranslatedProgram(source_program=program, env=schedule.env,
+                             schedule=schedule, items=grouped.items)
+
+
+# -- profiles -----------------------------------------------------------------
+
+def accel_step_profile(step: AccelCallStep, env: CompileEnv) -> OpProfile:
+    """Profile of ONE invocation of an accelerated call site."""
+    s = step.proto.scalars
+    if step.accel == "AXPY":
+        return axpy_profile(s["n"])
+    if step.accel == "DOT":
+        if s.get("dtype", 0):
+            return cdotc_profile(s["n"])
+        return dot_profile(s["n"])
+    if step.accel == "GEMV":
+        return gemv_profile(s["m"], s["n"])
+    if step.accel == "SPMV":
+        return OpProfile(
+            "SPMV", flops=2.0 * s["nnz"],
+            bytes_read=s["nnz"] * 16 + (s["rows"] + 1) * 8,
+            bytes_written=s["rows"] * 4, pattern="gather")
+    if step.accel == "RESMP":
+        return resmp_profile(s["n_in"], s["n_out"], s["blocks"])
+    if step.accel == "FFT":
+        return fft_profile(s["n"], s["batch"])
+    if step.accel == "RESHP":
+        return reshp_profile(s["rows"], s["cols"], s["elem_bytes"])
+    raise RecognizerError(f"no profile for accelerator {step.accel!r}")
+
+
+def host_step_profile(step: HostCallStep, env: CompileEnv) -> OpProfile:
+    """Profile of ONE invocation of a host (compute-bounded) call."""
+    if step.func == "cblas_cherk":
+        n = env.eval_const(step.args[0])
+        k = env.eval_const(step.args[1])
+        return cherk_profile(n, k)
+    if step.func in ("cblas_ctrsm_lower", "cblas_ctrsm_upper"):
+        n = env.eval_const(step.args[0])
+        m = env.eval_const(step.args[1])
+        return ctrsm_profile(n, m)
+    if step.func == "cpotrf_lower":
+        n = env.eval_const(step.args[0])
+        return OpProfile("POTRF", flops=4.0 / 3.0 * n ** 3,
+                         bytes_read=n * n * 8, bytes_written=n * n * 8,
+                         pattern="blocked")
+    raise RecognizerError(f"no profile for host call {step.func!r}")
+
+
+def step_profile(step, env: CompileEnv) -> Tuple[OpProfile, int]:
+    """(per-call profile, call count) for any library step."""
+    if isinstance(step, AccelCallStep):
+        return accel_step_profile(step, env), step.calls
+    if isinstance(step, HostCallStep):
+        return host_step_profile(step, env), step.calls
+    raise TypeError(f"step {step!r} has no profile")

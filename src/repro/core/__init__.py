@@ -1,0 +1,27 @@
+"""MEALib core: TDL, descriptors, configuration unit, runtime, system."""
+
+from repro.core.config_unit import (CompInstance, ConfigurationUnit,
+                                    DescriptorExecution, PassPlan)
+from repro.core.descriptor import (CMD_IDLE, CMD_START, DescriptorError,
+                                   EncodedDescriptor, Instruction,
+                                   KIND_ACCEL, KIND_ENDLOOP, KIND_ENDPASS,
+                                   KIND_LOOP, OPCODES, decode_control,
+                                   decode_instructions, encode,
+                                   set_command)
+from repro.core.invocation import InvocationModel
+from repro.core.runtime import (AccPlan, Ledger, LedgerEntry,
+                                MealibRuntime, RuntimeError_)
+from repro.core.system import MealibSystem
+from repro.core.tdl import (Comp, Loop, ParamStore, Pass, TdlError,
+                            TdlProgram, format_tdl, parse_tdl)
+
+__all__ = [
+    "CompInstance", "ConfigurationUnit", "DescriptorExecution", "PassPlan",
+    "CMD_IDLE", "CMD_START", "DescriptorError", "EncodedDescriptor",
+    "Instruction", "KIND_ACCEL", "KIND_ENDLOOP", "KIND_ENDPASS",
+    "KIND_LOOP", "OPCODES", "decode_control", "decode_instructions",
+    "encode", "set_command", "InvocationModel", "AccPlan", "Ledger",
+    "LedgerEntry", "MealibRuntime", "RuntimeError_", "MealibSystem",
+    "Comp", "Loop", "ParamStore", "Pass", "TdlError", "TdlProgram",
+    "format_tdl", "parse_tdl",
+]

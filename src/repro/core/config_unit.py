@@ -1,0 +1,346 @@
+"""The configuration unit (Figure 5): fetch, decode, dispatch.
+
+When the host writes START into a descriptor's Control Region, the CU's
+Fetch Unit pulls the descriptor into instruction memory, and the Decode
+Unit walks it pass by pass: it activates the pass's accelerators,
+programs each tile's switch (chaining the datapath when a pass holds
+several COMPs), runs accelerator initialisation, and triggers
+processing. LOOP blocks re-arm the same configuration without host
+involvement — the paper's mechanism for collapsing 16M library calls
+into one descriptor.
+
+The CU here does double duty, like the rest of the package: it executes
+descriptors *functionally* (so results are real and testable) and
+*models* their time/energy (aggregating loop iterations into batched
+streams, the way the hardware pipeline actually behaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.accel.base import (AcceleratorCore, StrideTable,
+                              linear_strides, shift_params,
+                              unpack_strides)
+from repro.accel.layer import AcceleratorLayer
+from repro.accel.noc import MeshNoc
+from repro.accel.synthesis import noc_power
+from repro.accel.tile import PORT_CHAIN, PORT_DRAM
+from repro.core.descriptor import (CMD_START, CR_BYTES, INSTR_BYTES,
+                                   DescriptorError, Instruction,
+                                   KIND_ACCEL, KIND_ENDLOOP, KIND_ENDPASS,
+                                   KIND_LOOP, decode_control,
+                                   decode_instructions)
+from repro.memmgmt.addrspace import UnifiedAddressSpace
+from repro.memsys.device import MemoryDevice
+from repro.memsys.trace import StreamSpec, simulate_streams
+from repro.metrics import ExecResult, ZERO
+
+#: Fetch-unit base latency for pulling a descriptor into IMEM.
+FU_FETCH_LATENCY = 200e-9
+
+#: Descriptor transfer bandwidth over the TSV/interconnect path.
+FU_FETCH_BW = 25.6e9
+
+#: One-time pass arming: switch programming + per-accelerator
+#: configuration fetch from main memory.
+PASS_ARM_TIME = 2e-6
+
+#: Loop re-arm per iteration: one address-generator FSM step. It runs
+#: concurrently with processing (one generator per tile), so it enters
+#: the pass model as a pipeline stage, not an additive cost.
+LOOP_REARM_TIME = 1e-9
+
+#: CU logic power while a descriptor is in flight.
+CU_POWER = 0.5
+
+
+@dataclass(frozen=True)
+class CompInstance:
+    """A decoded COMP: accelerator + base params + loop strides."""
+
+    core: AcceleratorCore
+    params: object
+    strides: Optional[object] = None      # StrideTable or field mapping
+
+
+@dataclass(frozen=True)
+class PassPlan:
+    """A decoded PASS with the loop trip count it executes under."""
+
+    comps: Tuple[CompInstance, ...]
+    count: int = 1
+
+    @property
+    def chained(self) -> bool:
+        return len(self.comps) > 1
+
+
+@dataclass
+class DescriptorExecution:
+    """Outcome of running one descriptor."""
+
+    result: ExecResult
+    by_accelerator: Dict[str, ExecResult]
+    invocations: int
+    passes: int
+
+    def accel_share(self, name: str) -> float:
+        """Fraction of descriptor time spent in one accelerator."""
+        if self.result.time <= 0:
+            return 0.0
+        return self.by_accelerator.get(name, ZERO).time / self.result.time
+
+
+def _scaled_stream(stream: StreamSpec, count: int) -> StreamSpec:
+    """A loop's iterations concatenate into one long stream: same
+    pattern, ``count`` times the elements."""
+    if count == 1:
+        return stream
+    return dc_replace(stream, n_elems=stream.n_elems * count)
+
+
+def _stream_footprint(stream: StreamSpec) -> int:
+    """Byte span one iteration of a stream covers."""
+    if stream.kind == "strided" and stream.stride:
+        return stream.n_elems * stream.stride
+    if stream.kind == "blocked":
+        blocks = (stream.n_elems + stream.block_elems - 1
+                  ) // stream.block_elems
+        return blocks * stream.block_stride
+    return stream.n_elems * stream.elem_bytes
+
+
+def _coalesce_looped_stream(stream: StreamSpec, field_deltas,
+                            trips, count: int) -> StreamSpec:
+    """Aggregate a per-iteration stream across a LOOP's trips.
+
+    Models what the tile hardware actually does with its local memory
+    and address generators, innermost loop level outward:
+
+    * delta 0 — the operand is invariant at this level and stays in
+      tile LM (STAP's weight vector across range cells): one read
+      serves all trips;
+    * a strided stream whose per-trip advance tiles it densely (STAP's
+      snapshot columns) — the block is fetched once as a dense region;
+    * a per-trip advance equal to the stream's footprint — plain
+      concatenation into a longer stream.
+
+    Whatever doesn't match keeps the conservative concatenation model.
+    """
+    out = stream
+    remaining = count
+    levels = list(range(len(trips)))[::-1]        # innermost first
+    for level in levels:
+        trip = trips[level] if trips[level] else count
+        if trip <= 1:
+            continue
+        delta = field_deltas[level]
+        if delta == 0:
+            remaining //= trip
+            continue
+        if (out.kind == "strided" and out.stride
+                and delta == out.elem_bytes
+                and delta * trip == out.stride):
+            out = dc_replace(out, kind="seq", stride=0,
+                             n_elems=out.n_elems * trip)
+            remaining //= trip
+            continue
+        if delta == _stream_footprint(out) and out.kind in ("seq",
+                                                            "strided",
+                                                            "blocked"):
+            out = dc_replace(out, n_elems=out.n_elems * trip)
+            remaining //= trip
+            continue
+        break
+    return _scaled_stream(out, max(remaining, 1))
+
+
+def _comp_streams_aggregated(comp: "CompInstance",
+                             count: int) -> List[StreamSpec]:
+    """All streams of a comp, aggregated over its loop trips."""
+    streams = comp.core.streams(comp.params)
+    if count == 1:
+        return streams
+    strides = comp.strides
+    if strides is None:
+        return [_scaled_stream(s, count) for s in streams]
+    if not isinstance(strides, StrideTable):
+        strides = linear_strides(comp.core.params_type, strides)
+    trips = strides.trips
+    base_of = {getattr(comp.params, f): f
+               for f in comp.core.params_type.ADDR_FIELDS}
+    out = []
+    for s in streams:
+        field = base_of.get(s.base)
+        if field is None:
+            out.append(_scaled_stream(s, count))
+            continue
+        out.append(_coalesce_looped_stream(s, strides.deltas[field],
+                                           trips, count))
+    return out
+
+
+class ConfigurationUnit:
+    """Fetch Unit + Instruction Memory + Decode Unit."""
+
+    def __init__(self, layer: AcceleratorLayer,
+                 space: UnifiedAddressSpace, device: MemoryDevice,
+                 noc: Optional[MeshNoc] = None):
+        self.layer = layer
+        self.space = space
+        self.device = device
+        self.noc = noc if noc is not None else layer.noc
+
+    # -- decode ---------------------------------------------------------------
+
+    def _read_comp(self, instr: Instruction) -> CompInstance:
+        core = self.layer.accelerator(instr.accel_name)
+        blob = self.space.pa_read(instr.param_addr, instr.param_size)
+        params = core.unpack_params(blob)
+        strides = None
+        base_size = core.params_type.SIZE
+        if instr.param_size > base_size:
+            strides = unpack_strides(core.params_type, blob[base_size:])
+        return CompInstance(core=core, params=params, strides=strides)
+
+    def decode(self, desc_pa: int) -> List[PassPlan]:
+        """Parse a descriptor from DRAM into pass plans.
+
+        Raises :class:`DescriptorError` unless the CR holds START — the
+        hardware only reacts to the doorbell.
+        """
+        header = self.space.pa_read(desc_pa, CR_BYTES)
+        command, n_instr = decode_control(header)
+        if command != CMD_START:
+            raise DescriptorError("descriptor command region is not START")
+        raw = self.space.pa_read(desc_pa,
+                                 CR_BYTES + n_instr * INSTR_BYTES)
+        instructions = decode_instructions(raw, n_instr)
+        plans: List[PassPlan] = []
+        loop_count = 1
+        in_loop = False
+        current: List[CompInstance] = []
+        loop_passes: List[Tuple[CompInstance, ...]] = []
+        for instr in instructions:
+            if instr.kind == KIND_LOOP:
+                if in_loop:
+                    raise DescriptorError("nested LOOP is not supported")
+                in_loop = True
+                loop_count = instr.param_size
+                loop_passes = []
+            elif instr.kind == KIND_ACCEL:
+                current.append(self._read_comp(instr))
+            elif instr.kind == KIND_ENDPASS:
+                if not current:
+                    raise DescriptorError("empty PASS in descriptor")
+                if in_loop:
+                    loop_passes.append(tuple(current))
+                else:
+                    plans.append(PassPlan(comps=tuple(current), count=1))
+                current = []
+            elif instr.kind == KIND_ENDLOOP:
+                if not in_loop:
+                    raise DescriptorError("ENDLOOP without LOOP")
+                for comps in loop_passes:
+                    plans.append(PassPlan(comps=comps, count=loop_count))
+                in_loop = False
+                loop_count = 1
+        if in_loop or current:
+            raise DescriptorError("descriptor ends inside a block")
+        return plans
+
+    # -- execution --------------------------------------------------------------
+
+    def _configure_tiles(self, plan: PassPlan) -> None:
+        """Program the switch network for one pass (chain wiring)."""
+        for idx, comp in enumerate(plan.comps):
+            first = idx == 0
+            last = idx == len(plan.comps) - 1
+            for tile in self.layer.tiles.values():
+                tile.configure(
+                    comp.core.name,
+                    input_port=PORT_DRAM if first else PORT_CHAIN,
+                    output_port=PORT_DRAM if last else PORT_CHAIN)
+
+    def _release_tiles(self) -> None:
+        for tile in self.layer.tiles.values():
+            tile.release()
+
+    def _run_functional(self, plan: PassPlan) -> None:
+        for i in range(plan.count):
+            for comp in plan.comps:
+                params = shift_params(comp.params, comp.strides, i)
+                comp.core.run(self.space, params)
+
+    def _model_pass(self, plan: PassPlan) -> Tuple[ExecResult,
+                                                   Dict[str, float]]:
+        """Time/energy of one pass plan (loop iterations aggregated).
+
+        For a chained pass only the first COMP's input streams and the
+        last COMP's output streams touch DRAM; intermediates ride the
+        tile local memories and the NoC.
+        """
+        first, last = plan.comps[0], plan.comps[-1]
+        streams: List[StreamSpec] = []
+        streams.extend(s for s in
+                       _comp_streams_aggregated(first, plan.count)
+                       if not s.is_write)
+        streams.extend(s for s in
+                       _comp_streams_aggregated(last, plan.count)
+                       if s.is_write)
+        mem = simulate_streams(self.device, streams)
+        compute_times = {}
+        for comp in plan.comps:
+            prof = comp.core.profile(comp.params)
+            compute_times[comp.core.name] = (
+                plan.count * prof.flops / comp.core.compute_rate()
+                if prof.flops else 0.0)
+        t_compute = max(compute_times.values()) if compute_times else 0.0
+        t_noc = 0.0
+        if plan.chained:
+            inter_bytes = plan.count * sum(
+                s.total_bytes for s in first.core.streams(first.params)
+                if s.is_write)
+            t_noc = inter_bytes / (self.noc.tiles * self.noc.link_bw)
+        t_ctrl = plan.count * LOOP_REARM_TIME / len(self.layer.tiles)
+        time = max(mem.time, t_compute, t_noc, t_ctrl) + PASS_ARM_TIME
+        energy = mem.energy
+        if time > mem.time:
+            energy += self.device.static_power() * (time - mem.time)
+        for comp in plan.comps:
+            activity = min(
+                1.0, compute_times[comp.core.name] / time if time else 0.0)
+            energy += comp.core.logic_power(
+                activity=max(activity, 0.25)) * time
+        energy += (noc_power() + CU_POWER) * time
+        return ExecResult(time=time, energy=energy), compute_times
+
+    def run_descriptor(self, desc_pa: int, desc_bytes: int,
+                       functional: bool = True) -> DescriptorExecution:
+        """Execute a descriptor: functional effects + time/energy."""
+        plans = self.decode(desc_pa)
+        fetch_time = FU_FETCH_LATENCY + desc_bytes / FU_FETCH_BW
+        total = ExecResult(time=fetch_time, energy=fetch_time * CU_POWER)
+        by_accel: Dict[str, ExecResult] = {}
+        invocations = 0
+        for plan in plans:
+            self._configure_tiles(plan)
+            if functional:
+                self._run_functional(plan)
+            pass_result, _ = self._model_pass(plan)
+            total = total.plus(pass_result)
+            # attribute the pass to its accelerators by stream share
+            share = pass_result.time / max(len(plan.comps), 1)
+            for comp in plan.comps:
+                prev = by_accel.get(comp.core.name, ZERO)
+                frac = ExecResult(
+                    time=share,
+                    energy=pass_result.energy / len(plan.comps))
+                by_accel[comp.core.name] = prev.plus(frac)
+            invocations += plan.count * len(plan.comps)
+            self._release_tiles()
+        return DescriptorExecution(result=total, by_accelerator=by_accel,
+                                   invocations=invocations,
+                                   passes=len(plans))

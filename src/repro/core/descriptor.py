@@ -1,0 +1,175 @@
+"""The accelerator descriptor (Section 2.3): CR + IR + PR in DRAM.
+
+A descriptor is a physically contiguous region of the command space with
+three parts:
+
+* Control Region — magic, command word (the hardware polls for START),
+  instruction count;
+* Instruction Region — fixed-width instructions: accelerator
+  invocations (opcode + parameter size/address) and control
+  instructions (LOOP / ENDLOOP / ENDPASS);
+* Parameter Region — the packed per-invocation parameters the
+  instructions point at.
+
+``encode`` lowers a TDL program to descriptor bytes; ``decode`` is what
+the configuration unit's fetch/decode units do when START is observed.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.tdl import (Comp, Loop, ParamStore, Pass, TdlError,
+                            TdlProgram)
+
+MAGIC = 0x4D45414C            # 'MEAL'
+
+CMD_IDLE = 0
+CMD_START = 1
+
+#: Instruction kinds in the IR.
+KIND_ACCEL = 0
+KIND_LOOP = 1
+KIND_ENDLOOP = 2
+KIND_ENDPASS = 3
+
+_CR = struct.Struct("<IIII")          # magic, command, n_instr, reserved
+_INSTR = struct.Struct("<BBHIq")      # opcode, kind, pad, size, addr
+
+CR_BYTES = _CR.size
+INSTR_BYTES = _INSTR.size
+
+#: Opcode name <-> number mapping (matches the accelerator classes).
+OPCODES = {"AXPY": 1, "DOT": 2, "GEMV": 3, "SPMV": 4, "RESMP": 5,
+           "FFT": 6, "RESHP": 7}
+OPCODE_NAMES = {v: k for k, v in OPCODES.items()}
+
+
+class DescriptorError(Exception):
+    """Raised on malformed descriptors."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded IR entry."""
+
+    kind: int
+    opcode: int = 0
+    param_size: int = 0
+    param_addr: int = 0
+
+    @property
+    def accel_name(self) -> str:
+        if self.kind != KIND_ACCEL:
+            raise DescriptorError("not an accelerator instruction")
+        try:
+            return OPCODE_NAMES[self.opcode]
+        except KeyError:
+            raise DescriptorError(f"unknown opcode {self.opcode}")
+
+
+@dataclass(frozen=True)
+class EncodedDescriptor:
+    """Descriptor bytes plus layout metadata."""
+
+    data: bytes
+    base_pa: int
+    n_instructions: int
+    pr_offset: int
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+def _lower(program: TdlProgram, params: ParamStore,
+           pr_base: int) -> Tuple[List[Instruction], bytes]:
+    instructions: List[Instruction] = []
+    pr = bytearray()
+
+    def lower_pass(p: Pass) -> None:
+        for comp in p.comps:
+            if comp.accel not in OPCODES:
+                raise DescriptorError(
+                    f"no opcode for accelerator {comp.accel!r}")
+            blob = params.get(comp.param_file)
+            addr = pr_base + len(pr)
+            pr.extend(blob)
+            instructions.append(Instruction(
+                kind=KIND_ACCEL, opcode=OPCODES[comp.accel],
+                param_size=len(blob), param_addr=addr))
+        instructions.append(Instruction(kind=KIND_ENDPASS))
+
+    for block in program.blocks:
+        if isinstance(block, Loop):
+            instructions.append(Instruction(kind=KIND_LOOP,
+                                            param_size=block.count))
+            for p in block.body:
+                lower_pass(p)
+            instructions.append(Instruction(kind=KIND_ENDLOOP))
+        else:
+            lower_pass(block)
+    return instructions, bytes(pr)
+
+
+def encode(program: TdlProgram, params: ParamStore,
+           base_pa: int) -> EncodedDescriptor:
+    """Lower a TDL program into descriptor bytes at ``base_pa``.
+
+    The PR follows the IR immediately; parameter addresses inside the IR
+    are absolute physical addresses, as the hardware expects.
+    """
+    # two-phase: sizes first (parameter addresses depend on IR length)
+    n_accel = len([c for c in program.comps()])
+    n_ctrl = 0
+    for block in program.blocks:
+        if isinstance(block, Loop):
+            n_ctrl += 2 + len(block.body)       # LOOP, ENDLOOP, ENDPASSes
+        else:
+            n_ctrl += 1                          # ENDPASS
+    n_instr = n_accel + n_ctrl
+    pr_offset = CR_BYTES + n_instr * INSTR_BYTES
+    instructions, pr = _lower(program, params, base_pa + pr_offset)
+    if len(instructions) != n_instr:
+        raise DescriptorError("instruction count mismatch during lowering")
+    out = bytearray()
+    out.extend(_CR.pack(MAGIC, CMD_IDLE, n_instr, 0))
+    for instr in instructions:
+        out.extend(_INSTR.pack(instr.opcode, instr.kind, 0,
+                               instr.param_size, instr.param_addr))
+    out.extend(pr)
+    return EncodedDescriptor(data=bytes(out), base_pa=base_pa,
+                             n_instructions=n_instr, pr_offset=pr_offset)
+
+
+def decode_control(data: bytes) -> Tuple[int, int]:
+    """Read (command, n_instructions) from the CR; validates the magic."""
+    if len(data) < CR_BYTES:
+        raise DescriptorError("descriptor shorter than its control region")
+    magic, command, n_instr, _ = _CR.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise DescriptorError(f"bad descriptor magic {magic:#x}")
+    return command, n_instr
+
+
+def decode_instructions(data: bytes, n_instr: int) -> List[Instruction]:
+    """Decode the IR that follows the CR."""
+    need = CR_BYTES + n_instr * INSTR_BYTES
+    if len(data) < need:
+        raise DescriptorError("descriptor truncated inside the IR")
+    out = []
+    for i in range(n_instr):
+        opcode, kind, _, size, addr = _INSTR.unpack_from(
+            data, CR_BYTES + i * INSTR_BYTES)
+        if kind not in (KIND_ACCEL, KIND_LOOP, KIND_ENDLOOP, KIND_ENDPASS):
+            raise DescriptorError(f"unknown instruction kind {kind}")
+        out.append(Instruction(kind=kind, opcode=opcode, param_size=size,
+                               param_addr=addr))
+    return out
+
+
+def set_command(data: bytearray, command: int) -> None:
+    """Write the command word in place (the doorbell the CR monitors)."""
+    struct.pack_into("<I", data, 4, command)

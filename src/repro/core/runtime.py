@@ -1,0 +1,169 @@
+"""MEALib runtime routines (Listing 2 of the paper).
+
+Two families, both backed by the device driver:
+
+* memory management — ``mealib_mem_alloc`` / ``mealib_mem_free``
+  allocate physically contiguous, virtually mapped buffers in the data
+  space (the compiler substitutes these for malloc/free);
+* accelerator control — ``mealib_acc_plan`` lowers a TDL string into an
+  accelerator descriptor in the command space, ``mealib_acc_execute``
+  flushes caches, rings the doorbell and lets the configuration unit
+  run it (functionally and in the timing model), and
+  ``mealib_acc_destroy`` releases the descriptor slot.
+
+Plans are reusable: one ``acc_plan``, many ``acc_execute`` — the
+software-loop baseline of Fig 12b does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.core.config_unit import (ConfigurationUnit,
+                                    DescriptorExecution)
+from repro.core.descriptor import (CMD_IDLE, CMD_START, EncodedDescriptor,
+                                   encode)
+from repro.core.invocation import InvocationModel
+from repro.core.tdl import ParamStore, TdlProgram, parse_tdl
+from repro.memmgmt.addrspace import MappedBuffer, UnifiedAddressSpace
+from repro.memmgmt.allocator import ContiguousAllocator
+from repro.metrics import ExecResult
+
+
+class RuntimeError_(Exception):
+    """Raised on invalid runtime usage (destroyed plans, bad sizes)."""
+
+
+@dataclass
+class AccPlan:
+    """The ``acc_plan`` handle: a lowered descriptor plus bookkeeping."""
+
+    program: TdlProgram
+    descriptor: EncodedDescriptor
+    working_set_bytes: int
+    destroyed: bool = False
+    executions: int = 0
+
+
+@dataclass
+class LedgerEntry:
+    category: str
+    label: str
+    result: ExecResult
+
+
+@dataclass
+class Ledger:
+    """Accumulates time/energy by category for the breakdown figures."""
+
+    entries: list = field(default_factory=list)
+
+    def log(self, category: str, label: str, result: ExecResult) -> None:
+        self.entries.append(LedgerEntry(category, label, result))
+
+    def total(self, category: Optional[str] = None) -> ExecResult:
+        out = ExecResult(0.0, 0.0)
+        for e in self.entries:
+            if category is None or e.category == category:
+                out = out.plus(e.result)
+        return out
+
+    def by_label(self, category: str) -> Dict[str, ExecResult]:
+        out: Dict[str, ExecResult] = {}
+        for e in self.entries:
+            if e.category == category:
+                out[e.label] = out.get(e.label,
+                                       ExecResult(0.0, 0.0)).plus(e.result)
+        return out
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+
+class MealibRuntime:
+    """The runtime library a translated program links against."""
+
+    def __init__(self, space: UnifiedAddressSpace,
+                 config_unit: ConfigurationUnit,
+                 invocation: Optional[InvocationModel] = None):
+        self.space = space
+        self.cu = config_unit
+        self.invocation = (invocation if invocation is not None
+                           else InvocationModel())
+        self.ledger = Ledger()
+        # descriptor slots live in the command space, after a small
+        # reserved header page
+        self._command_alloc = ContiguousAllocator(
+            base=space.command_pa + 256,
+            size=space.command_bytes - 256)
+
+    # -- memory management (mealib_mem_alloc / mealib_mem_free) -------------
+
+    def mem_alloc(self, size: int) -> MappedBuffer:
+        return self.space.alloc(size)
+
+    def mem_free(self, buffer: MappedBuffer) -> None:
+        self.space.free(buffer)
+
+    # -- accelerator control (mealib_acc_plan / execute / destroy) -----------
+
+    def acc_plan(self, tdl: Union[str, TdlProgram], params: ParamStore,
+                 in_size: int, out_size: int) -> AccPlan:
+        """Lower a TDL string into a descriptor in the command space.
+
+        ``in_size``/``out_size`` describe the I/O buffers (the Listing 2
+        signature) and size the coherence flush at execute time.
+        """
+        if in_size < 0 or out_size < 0:
+            raise RuntimeError_("buffer sizes must be non-negative")
+        program = parse_tdl(tdl) if isinstance(tdl, str) else tdl
+        # two-step: encode once to learn the size, then place it
+        probe = encode(program, params, base_pa=0)
+        slot = self._command_alloc.alloc(probe.size, align=64)
+        descriptor = encode(program, params, base_pa=slot)
+        self.space.pa_write(slot, descriptor.data)
+        return AccPlan(program=program, descriptor=descriptor,
+                       working_set_bytes=in_size + out_size)
+
+    def acc_execute(self, plan: AccPlan,
+                    functional: bool = True) -> ExecResult:
+        """Invoke the accelerators described by ``plan``.
+
+        Charges the host-side invocation overhead (wbinvd, descriptor
+        store, doorbell), writes START into the CR, and hands control to
+        the configuration unit. Returns the end-to-end cost; details are
+        accumulated in :attr:`ledger`.
+        """
+        if plan.destroyed:
+            raise RuntimeError_("acc_execute on a destroyed plan")
+        overhead = self.invocation.total(plan.descriptor.size,
+                                         plan.working_set_bytes)
+        self.ledger.log("invocation", "invocation", overhead)
+        # doorbell: set the command word the hardware polls
+        buf = bytearray(plan.descriptor.data)
+        from repro.core.descriptor import set_command
+        set_command(buf, CMD_START)
+        self.space.pa_write(plan.descriptor.base_pa, bytes(buf))
+        execution = self.cu.run_descriptor(plan.descriptor.base_pa,
+                                           plan.descriptor.size,
+                                           functional=functional)
+        for accel_name, share in execution.by_accelerator.items():
+            self.ledger.log("accelerator", accel_name, share)
+        # return the CR to idle
+        set_command(buf, CMD_IDLE)
+        self.space.pa_write(plan.descriptor.base_pa, bytes(buf))
+        plan.executions += 1
+        return overhead.plus(execution.result)
+
+    def acc_destroy(self, plan: AccPlan) -> None:
+        if plan.destroyed:
+            raise RuntimeError_("plan already destroyed")
+        self._command_alloc.free(plan.descriptor.base_pa)
+        plan.destroyed = True
+
+    # -- host-side accounting ---------------------------------------------
+
+    def log_host(self, label: str, result: ExecResult) -> None:
+        """Record host-executed (compute-bounded) library work."""
+        self.ledger.log("host", label, result)

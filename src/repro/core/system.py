@@ -1,0 +1,63 @@
+"""Full-system assembly: host + memory stack + accelerators + runtime.
+
+One object wires everything the paper's Figure 2 shows: the host CPU
+model, the 3D-stacked DRAM (functional physical memory + cycle-level
+timing device), the accelerator layer, the configuration unit, the
+invocation cost model, and the runtime the translated programs call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.accel.layer import AcceleratorLayer
+from repro.core.config_unit import ConfigurationUnit
+from repro.core.invocation import InvocationModel
+from repro.core.runtime import MealibRuntime
+from repro.host.cpu import CpuModel
+from repro.host.platforms import haswell
+from repro.memmgmt.addrspace import UnifiedAddressSpace
+from repro.memmgmt.driver import MealibDriver
+from repro.memsys.dram3d import StackedDram
+from repro.metrics import ExecResult
+from repro.mkl.profiles import OpProfile
+
+
+class MealibSystem:
+    """A host with one accelerated memory stack."""
+
+    def __init__(self, host: Optional[CpuModel] = None,
+                 stack_bytes: int = 1 << 30,
+                 device: Optional[StackedDram] = None,
+                 layer: Optional[AcceleratorLayer] = None,
+                 invocation: Optional[InvocationModel] = None):
+        self.host = host if host is not None else haswell()
+        self.space = UnifiedAddressSpace(
+            MealibDriver(stack_bytes=stack_bytes))
+        self.device = device if device is not None else StackedDram()
+        self.layer = layer if layer is not None else AcceleratorLayer()
+        self.config_unit = ConfigurationUnit(self.layer, self.space,
+                                             self.device)
+        self.runtime = MealibRuntime(self.space, self.config_unit,
+                                     invocation)
+
+    @property
+    def ledger(self):
+        return self.runtime.ledger
+
+    def run_on_host(self, label: str, profile: OpProfile) -> ExecResult:
+        """Execute a compute-bounded library call on the host CPU and
+        record it (the cherk/ctrsm path of the STAP pipeline)."""
+        result = self.host.run_profile(profile)
+        self.runtime.log_host(label, result)
+        return result
+
+    def total(self) -> ExecResult:
+        """End-to-end time/energy recorded so far."""
+        return self.ledger.total()
+
+    def breakdown(self):
+        """(host, accelerator, invocation) totals — the Fig 14 split."""
+        return (self.ledger.total("host"),
+                self.ledger.total("accelerator"),
+                self.ledger.total("invocation"))

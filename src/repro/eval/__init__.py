@@ -1,0 +1,12 @@
+"""Evaluation harness: workloads, runner, calibration, figure generators."""
+
+from repro.eval.runner import (IndividualOpRunner, OpRun, PLATFORM_ORDER,
+                               efficiency_vs_haswell, geometric_mean,
+                               speedups_vs_haswell)
+from repro.eval.workloads import OP_ORDER, TABLE2, Workload
+
+__all__ = [
+    "IndividualOpRunner", "OpRun", "PLATFORM_ORDER",
+    "efficiency_vs_haswell", "geometric_mean", "speedups_vs_haswell",
+    "OP_ORDER", "TABLE2", "Workload",
+]

@@ -1,0 +1,41 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.eval fig9           # one target
+    python -m repro.eval all            # everything, prints EXPERIMENTS-
+                                        # style paper-vs-measured output
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval.figures import GENERATORS, render
+
+ORDER = ("fig1", "table1", "table2", "table3", "table4", "fig9",
+         "table5", "fig11", "fig12", "fig13")
+
+
+def main(argv) -> int:
+    if len(argv) != 1 or argv[0] not in set(GENERATORS) | {"all"}:
+        targets = ", ".join(sorted(set(GENERATORS)))
+        print(f"usage: python -m repro.eval <target>\n"
+              f"targets: {targets}, all")
+        return 2
+    target = argv[0]
+    names = ORDER if target == "all" else (target,)
+    seen = set()
+    for name in names:
+        generator = GENERATORS[name]
+        if generator in seen:
+            continue
+        seen.add(generator)
+        report = generator()
+        print("=" * 72)
+        print(render(report))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,61 @@
+"""Paper reference numbers for every reproduced table and figure.
+
+Used by EXPERIMENTS.md generation (paper-vs-measured) and by the
+benchmark suite's shape assertions. Values are read off the paper's
+text, tables, and figure callouts.
+"""
+
+from __future__ import annotations
+
+#: Fig 1 — best library-vs-original speedup per suite.
+FIG1_SUITE_MAXIMA = {"R": 27.0, "PERFECT": 42.0, "PARSEC": 24.0}
+
+#: Fig 9 — MEALib performance over Haswell-MKL per op (figure callouts;
+#: SPMV 11x and RESHP 88x are quoted in the text).
+FIG9_MEALIB_SPEEDUP = {
+    "AXPY": 35.1, "DOT": 39.0, "GEMV": 38.1, "SPMV": 10.9,
+    "RESMP": 20.4, "FFT": 59.2, "RESHP": 88.4,
+}
+FIG9_AVERAGES = {"MEALib": 38.0, "MSAS": 10.32, "PSAS": 2.51}
+
+#: Fig 10 — MEALib energy-efficiency gain over Haswell-MKL per op.
+FIG10_MEALIB_EFFICIENCY = {
+    "AXPY": 61.7, "DOT": 88.7, "GEMV": 74.8, "SPMV": 32.9,
+    "RESMP": 57.3, "FFT": 96.6, "RESHP": 150.4,
+}
+FIG10_AVERAGES = {"MEALib": 75.0, "MSAS": 15.0, "PSAS": 10.7}
+
+#: Table 5 — power (W) and area (mm^2) on the accelerator layer.
+TABLE5_POWER_W = {
+    "AXPY": 23.56, "DOT": 23.49, "GEMV": 23.75, "SPMV": 15.44,
+    "RESMP": 8.19, "FFT": 18.89, "RESHP": 22.70,
+}
+TABLE5_AREA_MM2 = {
+    "AXPY": 1.38, "DOT": 1.81, "GEMV": 2.45, "SPMV": 14.17,
+    "RESMP": 2.64, "FFT": 16.13, "NoC": 1.44, "TSVs": 1.75,
+}
+TABLE5_TOTAL_AREA = 41.77
+TABLE5_TOTAL_POWER = 23.85
+TABLE5_BUDGET_FRACTION = 0.6143
+
+#: Fig 11 — GFLOPS/W ranges over the design space.
+FIG11_FFT_EFF_RANGE = (10.0, 56.0)
+FIG11_SPMV_EFF_RANGE = (0.18, 1.76)
+
+#: Fig 12 — configuration-efficiency callouts at 256x256.
+FIG12_CHAIN_GAIN_256 = 2.5
+FIG12_LOOP_GAIN_256 = 9.5
+
+#: Fig 13 — STAP gains over the Haswell baseline.
+FIG13_SPEEDUP = {"small": 2.0, "medium": 2.3, "large": 3.2}
+FIG13_EDP_GAIN = {"small": 4.5, "medium": 9.0, "large": 10.2}
+
+#: Fig 14 — STAP breakdown (fractions).
+FIG14_HOST_TIME_SHARE = 0.75
+FIG14_HOST_ENERGY_SHARE = 0.90
+FIG14_DOT_TIME_SHARE = 0.60       # of the accelerator portion
+FIG14_DOT_ENERGY_SHARE = 0.76
+FIG14_INVOCATION_TIME_SHARE = 0.033
+FIG14_INVOCATION_ENERGY_SHARE = 0.071
+FIG14_DESCRIPTORS = 3
+FIG14_TOTAL_CALLS = 17e6

@@ -1,0 +1,122 @@
+"""Table 2 workloads: the data set behind each accelerated function.
+
+Two views of every workload:
+
+* ``params`` at the *paper scale* (1 GB vectors, 16384^2 matrices...) for
+  the timing/energy models, which sample-and-extrapolate and therefore
+  never materialise the arrays;
+* ``scaled(factor)`` small instances for functional execution in tests
+  and examples.
+
+Physical addresses here are synthetic (the model only needs relative
+layout); functional paths allocate real buffers through the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.accel.axpy import AxpyParams
+from repro.accel.dot import DotParams
+from repro.accel.fft import FftParams
+from repro.accel.gemv import GemvParams
+from repro.accel.reshp import ReshpParams
+from repro.accel.resmp import ResmpParams
+from repro.accel.spmv import SpmvParams
+
+MB = 1 << 20
+GB = 1 << 30
+
+#: Average neighbour count of the rgg matrix class (UF rgg_n_2_20).
+RGG_AVG_DEGREE = 15
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One Table 2 row: op name, MKL function, and parameter builder."""
+
+    op: str
+    mkl_function: str
+    dataset: str
+    make_params: Callable[[float], object]
+
+    def params(self, scale: float = 1.0):
+        """Build invocation parameters; ``scale`` shrinks the data set
+        linearly (1.0 = the paper's size)."""
+        return self.make_params(scale)
+
+
+def _axpy(scale: float) -> AxpyParams:
+    n = max(1024, int(256 * MB * scale))
+    return AxpyParams(n=n, alpha=2.0, x_pa=0, y_pa=n * 4)
+
+
+def _dot(scale: float) -> DotParams:
+    n = max(1024, int(256 * MB * scale))
+    return DotParams(n=n, x_pa=0, y_pa=n * 4, out_pa=2 * n * 4)
+
+
+def _gemv(scale: float) -> GemvParams:
+    side = max(256, int(16384 * scale ** 0.5))
+    a_bytes = side * side * 4
+    return GemvParams(m=side, n=side, alpha=1.0, beta=0.0, a_pa=0,
+                      x_pa=a_bytes, y_pa=a_bytes + side * 4)
+
+
+def _spmv(scale: float) -> SpmvParams:
+    rows = max(4096, int((1 << 20) * scale))
+    nnz = rows * RGG_AVG_DEGREE
+    indptr_pa = 0
+    indices_pa = indptr_pa + (rows + 1) * 8
+    data_pa = indices_pa + nnz * 8
+    x_pa = data_pa + nnz * 4
+    y_pa = x_pa + rows * 4
+    # rgg matrices are geometrically ordered: the gathers of nearby rows
+    # stay within a ~1 MB window of x
+    return SpmvParams(rows=rows, cols=rows, nnz=nnz, indptr_pa=indptr_pa,
+                      indices_pa=indices_pa, data_pa=data_pa, x_pa=x_pa,
+                      y_pa=y_pa, locality_bytes=1 << 20)
+
+
+def _resmp(scale: float) -> ResmpParams:
+    blocks = max(16, int(16384 * scale))
+    n = 2048
+    in_pa = 0
+    sites_pa = in_pa + blocks * n * 8
+    out_pa = sites_pa + blocks * n * 4
+    knots_pa = out_pa + blocks * n * 8
+    return ResmpParams(blocks=blocks, n_in=n, n_out=n, in_pa=in_pa,
+                       sites_pa=sites_pa, out_pa=out_pa, knots_pa=knots_pa)
+
+
+def _fft(scale: float) -> FftParams:
+    n = 8192
+    batch = max(16, int(8192 * scale))
+    return FftParams(n=n, batch=batch, src_pa=0, dst_pa=batch * n * 8)
+
+
+def _reshp(scale: float) -> ReshpParams:
+    side = max(256, int(16384 * scale ** 0.5))
+    return ReshpParams(rows=side, cols=side, elem_bytes=4, src_pa=0,
+                       dst_pa=side * side * 4)
+
+
+#: The Table 2 rows, keyed by accelerator/op name.
+TABLE2: Dict[str, Workload] = {
+    "AXPY": Workload("AXPY", "cblas_saxpy()", "256M vector (1GB)", _axpy),
+    "DOT": Workload("DOT", "cblas_sdot()", "256M vector (1GB)", _dot),
+    "GEMV": Workload("GEMV", "cblas_sgemv()",
+                     "16384 x 16384 matrix (1GB)", _gemv),
+    "SPMV": Workload("SPMV", "mkl_scsrgemv()",
+                     "rgg n=2^20 (synthetic RGG)", _spmv),
+    "RESMP": Workload("RESMP", "dfsInterpolate1D()", "16384 blocks",
+                      _resmp),
+    "FFT": Workload("FFT", "fftwf_execute()",
+                    "8192 x 8192 matrix (512MB)", _fft),
+    "RESHP": Workload("RESHP", "mkl_simatcopy()",
+                      "16384 x 16384 matrix (1GB)", _reshp),
+}
+
+#: Presentation order used by the paper's figures.
+OP_ORDER = ("AXPY", "DOT", "GEMV", "SPMV", "RESMP", "FFT", "RESHP")

@@ -1,0 +1,15 @@
+"""Host processor and platform models (Table 3)."""
+
+from repro.host.cache import CacheHierarchy
+from repro.host.cpu import (CpuModel, CpuSpec, DEFAULT_BW_EFF,
+                            DEFAULT_COMPUTE_EFF)
+from repro.host.platforms import (AcceleratedSystem, HASWELL_SPEC,
+                                  XEON_PHI_SPEC, haswell, mealib_platform,
+                                  msas, psas, xeon_phi)
+
+__all__ = [
+    "CacheHierarchy", "CpuModel", "CpuSpec", "DEFAULT_BW_EFF",
+    "DEFAULT_COMPUTE_EFF", "AcceleratedSystem", "HASWELL_SPEC",
+    "XEON_PHI_SPEC", "haswell", "mealib_platform", "msas", "psas",
+    "xeon_phi",
+]

@@ -1,0 +1,113 @@
+"""The five comparison platforms of Table 3.
+
+Software platforms (MKL baselines):
+
+* Haswell i7-4770K — 4 cores @ 3.5 GHz, 25.6 GB/s, the normalisation
+  baseline of Figs 9/10;
+* Xeon Phi 5110P — 60 cores @ 1.0 GHz, 320 GB/s, run with 32 threads as
+  in the paper. Its bandwidth fractions encode the paper's own finding
+  that the evaluated MKL cannot exploit the part on these data sets
+  (Phi ≈ Haswell overall, and 2.4% of Haswell on RESHP).
+
+Accelerated platforms (same accelerator cores, different memory system):
+
+* PSAS — accelerators beside the processor on the 25.6 GB/s DDR;
+* MSAS — accelerators atop 2D DRAM, 102.4 GB/s (NDA-style);
+* MEALib — accelerators inside the 3D stack, 510 GB/s class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.base import AcceleratorCore, AccelExecution
+from repro.host.cpu import CpuModel, CpuSpec
+from repro.memsys.ddr import haswell_memory, msas_memory
+from repro.memsys.device import MemoryDevice
+from repro.memsys.dram3d import StackedDram
+from repro.metrics import ExecResult
+
+HASWELL_SPEC = CpuSpec(
+    name="Haswell i7-4770K",
+    cores=4,
+    freq_hz=3.5e9,
+    flops_per_cycle=8.0,        # the paper's 112 GFLOPS peak counting
+    peak_bw=25.6e9,
+    p_idle=12.0,
+    p_core=8.0,
+    p_dram=4.5,
+)
+
+XEON_PHI_SPEC = CpuSpec(
+    name="Xeon Phi 5110P",
+    cores=60,
+    freq_hz=1.053e9,
+    flops_per_cycle=16.0,
+    peak_bw=320e9,
+    # MKL-on-Phi achieved fractions for Table 2-sized problems: the
+    # evaluated library leaves most of the part idle (paper Section 5.1),
+    # catastrophically so for transposes.
+    bw_eff={"stream": 0.11, "blocked": 0.075, "gather": 0.035,
+            "transpose": 0.0004},
+    compute_eff={"stream": 0.30, "blocked": 0.18, "gather": 0.10,
+                 "transpose": 0.20},
+    p_idle=95.0,
+    p_core=1.1,
+    p_dram=0.0,                 # GDDR5 on package, folded into p_idle
+    threads_used=32,            # the paper runs Phi with 32 threads
+)
+
+
+def haswell() -> CpuModel:
+    """The baseline platform all results normalise to."""
+    return CpuModel(HASWELL_SPEC)
+
+
+def xeon_phi() -> CpuModel:
+    return CpuModel(XEON_PHI_SPEC)
+
+
+@dataclass(frozen=True)
+class AcceleratedSystem:
+    """An accelerator deployment: cores + the memory they sit next to.
+
+    Attributes:
+        name: platform name (Table 3 row).
+        device: the memory device the accelerators stream against.
+        interface_power: constant uncore/link power while active, watts
+            (on-die interface for PSAS, DIMM-side logic for MSAS,
+            serdes link share for MEALib).
+    """
+
+    name: str
+    device: MemoryDevice
+    interface_power: float
+
+    def run(self, core: AcceleratorCore, params) -> AccelExecution:
+        """Model one accelerator invocation on this platform."""
+        execution = core.model(self.device, params)
+        result = ExecResult(
+            time=execution.result.time,
+            energy=execution.result.energy
+            + self.interface_power * execution.result.time)
+        return AccelExecution(result=result, mem=execution.mem,
+                              t_compute=execution.t_compute,
+                              freq_hz=execution.freq_hz)
+
+
+def psas() -> AcceleratedSystem:
+    """Processor-Side Accelerated System: shares the host's DDR3."""
+    return AcceleratedSystem(name="PSAS", device=haswell_memory(),
+                             interface_power=4.0)
+
+
+def msas() -> AcceleratedSystem:
+    """2D Memory-Side Accelerated System (NDA-class), 102.4 GB/s."""
+    return AcceleratedSystem(name="MSAS", device=msas_memory(),
+                             interface_power=3.0)
+
+
+def mealib_platform() -> AcceleratedSystem:
+    """MEALib: accelerators on the 3D stack's accelerator layer."""
+    return AcceleratedSystem(name="MEALib", device=StackedDram(),
+                             interface_power=1.5)

@@ -1,0 +1,26 @@
+"""Shared memory management: the software half of Section 3.3.
+
+* :class:`~repro.memmgmt.physmem.PhysicalMemory` — sparse simulated
+  physical memory;
+* :class:`~repro.memmgmt.allocator.ContiguousAllocator` — first-fit
+  physically contiguous allocation;
+* :class:`~repro.memmgmt.pagetable.PageTable` — VA↔PA translation;
+* :class:`~repro.memmgmt.driver.MealibDriver` — the device driver
+  (``ioctl``/``mmap`` analogues, command/data space split);
+* :class:`~repro.memmgmt.addrspace.UnifiedAddressSpace` /
+  :class:`~repro.memmgmt.addrspace.MappedBuffer` — the dual-view facade
+  used by the runtime and the accelerators.
+"""
+
+from repro.memmgmt.addrspace import MappedBuffer, UnifiedAddressSpace
+from repro.memmgmt.allocator import AllocationError, ContiguousAllocator
+from repro.memmgmt.driver import (DriverError, IoctlRequest, MealibDriver)
+from repro.memmgmt.pagetable import (PAGE_SIZE, PageTable, TranslationError)
+from repro.memmgmt.physmem import PhysicalMemory, PhysMemError
+
+__all__ = [
+    "MappedBuffer", "UnifiedAddressSpace", "AllocationError",
+    "ContiguousAllocator", "DriverError", "IoctlRequest", "MealibDriver",
+    "PAGE_SIZE", "PageTable", "TranslationError", "PhysicalMemory",
+    "PhysMemError",
+]

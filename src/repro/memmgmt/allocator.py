@@ -1,0 +1,102 @@
+"""First-fit contiguous physical allocator with coalescing.
+
+The paper's accelerators have no MMU: they need *physically contiguous*
+buffers. The device driver reserves a physical range of the local memory
+stack and hands out contiguous spans from it through this allocator
+(``mealib_mem_alloc``/``mealib_mem_free`` bottom out here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class AllocationError(Exception):
+    """Raised when a request cannot be satisfied or a free is invalid."""
+
+
+def _align_up(x: int, align: int) -> int:
+    return (x + align - 1) // align * align
+
+
+class ContiguousAllocator:
+    """First-fit allocator over ``[base, base + size)``."""
+
+    def __init__(self, base: int, size: int):
+        if size <= 0:
+            raise ValueError("allocator size must be positive")
+        self.base = base
+        self.size = size
+        # free list of (start, size), sorted by start, non-adjacent
+        self._free: List[Tuple[int, int]] = [(base, size)]
+        self._live: Dict[int, int] = {}
+
+    def alloc(self, size: int, align: int = 64) -> int:
+        """Allocate ``size`` physically contiguous bytes; returns address."""
+        if size <= 0:
+            raise AllocationError("allocation size must be positive")
+        if align <= 0 or (align & (align - 1)):
+            raise AllocationError("alignment must be a positive power of 2")
+        for idx, (start, span) in enumerate(self._free):
+            aligned = _align_up(start, align)
+            pad = aligned - start
+            if pad + size > span:
+                continue
+            replacement = []
+            if pad:
+                replacement.append((start, pad))
+            tail = span - pad - size
+            if tail:
+                replacement.append((aligned + size, tail))
+            self._free[idx:idx + 1] = replacement
+            self._live[aligned] = size
+            return aligned
+        raise AllocationError(
+            f"cannot allocate {size} contiguous bytes "
+            f"({self.free_bytes} free, fragmented)")
+
+    def free(self, addr: int) -> int:
+        """Release the allocation at ``addr``; returns its size."""
+        size = self._live.pop(addr, None)
+        if size is None:
+            raise AllocationError(f"free of unallocated address {addr:#x}")
+        # insert and coalesce
+        entry = (addr, size)
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, entry)
+        self._coalesce_around(lo)
+        return size
+
+    def _coalesce_around(self, idx: int) -> None:
+        if idx + 1 < len(self._free):
+            start, span = self._free[idx]
+            nxt_start, nxt_span = self._free[idx + 1]
+            if start + span == nxt_start:
+                self._free[idx:idx + 2] = [(start, span + nxt_span)]
+        if idx > 0:
+            prev_start, prev_span = self._free[idx - 1]
+            start, span = self._free[idx]
+            if prev_start + prev_span == start:
+                self._free[idx - 1:idx + 1] = [(prev_start,
+                                                prev_span + span)]
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(span for _, span in self._free)
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def allocation_size(self, addr: int) -> int:
+        """Size of the live allocation at ``addr``."""
+        try:
+            return self._live[addr]
+        except KeyError:
+            raise AllocationError(f"no live allocation at {addr:#x}")

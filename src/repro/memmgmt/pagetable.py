@@ -1,0 +1,82 @@
+"""Virtual-to-physical translation for the host side.
+
+Legacy code addresses memory virtually; MEALib's accelerators address it
+physically. The driver's custom ``mmap`` maps a contiguous physical span
+into the process's virtual space page by page; the runtime performs
+virtual→physical translation when it writes buffer addresses into the
+accelerator descriptor (Section 3.3, "Address translation").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+PAGE_SIZE = 4096
+
+
+class TranslationError(Exception):
+    """Raised on unmapped virtual accesses."""
+
+
+class PageTable:
+    """A flat page table: virtual page number → physical page number."""
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError("page size must be a positive power of two")
+        self.page_size = page_size
+        self._entries: Dict[int, int] = {}
+
+    def map_range(self, va: int, pa: int, size: int) -> None:
+        """Map ``size`` bytes at virtual ``va`` to physical ``pa``.
+
+        Both addresses must be page-aligned; the span is mapped with
+        contiguous physical pages (that is the point of the driver's
+        custom mmap).
+        """
+        ps = self.page_size
+        if va % ps or pa % ps:
+            raise TranslationError("mmap addresses must be page-aligned")
+        if size <= 0:
+            raise TranslationError("mapping size must be positive")
+        pages = (size + ps - 1) // ps
+        for i in range(pages):
+            vpn = va // ps + i
+            if vpn in self._entries:
+                raise TranslationError(
+                    f"virtual page {vpn:#x} is already mapped")
+            self._entries[vpn] = pa // ps + i
+
+    def unmap_range(self, va: int, size: int) -> None:
+        ps = self.page_size
+        if va % ps:
+            raise TranslationError("munmap address must be page-aligned")
+        pages = (size + ps - 1) // ps
+        for i in range(pages):
+            if self._entries.pop(va // ps + i, None) is None:
+                raise TranslationError(
+                    f"virtual page {(va // ps + i):#x} is not mapped")
+
+    def translate(self, va: int) -> int:
+        """Virtual → physical for a single address."""
+        vpn, off = divmod(va, self.page_size)
+        try:
+            ppn = self._entries[vpn]
+        except KeyError:
+            raise TranslationError(f"unmapped virtual address {va:#x}")
+        return ppn * self.page_size + off
+
+    def translate_range(self, va: int, size: int) -> int:
+        """Translate a buffer start, verifying the whole span is mapped to
+        *contiguous* physical pages (what accelerators require)."""
+        pa0 = self.translate(va)
+        last = va + max(size, 1) - 1
+        expected = pa0 + (last - va)
+        if self.translate(last) != expected:
+            raise TranslationError(
+                f"virtual span at {va:#x} is not physically contiguous")
+        return pa0
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._entries)

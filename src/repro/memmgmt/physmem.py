@@ -1,0 +1,98 @@
+"""Simulated physical memory.
+
+The stack's physical address space can be gigabytes, so the backing store
+is *sparse*: storage exists only for regions registered by the allocator,
+each backed by a numpy byte array. Accelerators address this memory
+physically; the CPU reaches the same bytes through the page table
+(:mod:`repro.memmgmt.pagetable`), so both sides observe a single copy —
+the paper's unified-address-space requirement.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+import numpy as np
+
+
+class PhysMemError(Exception):
+    """Raised on out-of-region or overlapping physical accesses."""
+
+
+class PhysicalMemory:
+    """Sparse byte-addressable physical memory."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._starts: List[int] = []
+        self._regions: List[Tuple[int, np.ndarray]] = []  # (start, backing)
+
+    def add_region(self, start: int, size: int) -> None:
+        """Register backing storage for ``[start, start+size)``."""
+        if start < 0 or start + size > self.capacity:
+            raise PhysMemError(
+                f"region [{start:#x}, {start + size:#x}) outside capacity")
+        if size <= 0:
+            raise PhysMemError("region size must be positive")
+        idx = bisect.bisect_right(self._starts, start)
+        if idx > 0:
+            prev_start, prev = self._regions[idx - 1]
+            if prev_start + len(prev) > start:
+                raise PhysMemError("region overlaps an existing region")
+        if idx < len(self._starts) and start + size > self._starts[idx]:
+            raise PhysMemError("region overlaps an existing region")
+        self._starts.insert(idx, start)
+        self._regions.insert(idx, (start, np.zeros(size, dtype=np.uint8)))
+
+    def remove_region(self, start: int) -> None:
+        """Drop the region that begins exactly at ``start``."""
+        idx = bisect.bisect_left(self._starts, start)
+        if idx >= len(self._starts) or self._starts[idx] != start:
+            raise PhysMemError(f"no region starts at {start:#x}")
+        del self._starts[idx]
+        del self._regions[idx]
+
+    def _locate(self, addr: int, n: int) -> Tuple[np.ndarray, int]:
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            raise PhysMemError(f"unbacked physical address {addr:#x}")
+        start, backing = self._regions[idx]
+        off = addr - start
+        if off + n > len(backing):
+            raise PhysMemError(
+                f"access [{addr:#x}, {addr + n:#x}) crosses region end")
+        return backing, off
+
+    def read(self, addr: int, n: int) -> bytes:
+        backing, off = self._locate(addr, n)
+        return backing[off:off + n].tobytes()
+
+    def write(self, addr: int, data: bytes) -> None:
+        backing, off = self._locate(addr, len(data))
+        backing[off:off + len(data)] = np.frombuffer(
+            bytes(data), dtype=np.uint8)
+
+    def view(self, addr: int, n: int) -> np.ndarray:
+        """Zero-copy uint8 view of ``[addr, addr+n)``. The range must lie
+        within a single backed region (true for allocator buffers)."""
+        backing, off = self._locate(addr, n)
+        return backing[off:off + n]
+
+    def ndarray(self, addr: int, dtype, shape) -> np.ndarray:
+        """Zero-copy typed view of physical memory.
+
+        This is how both the simulated CPU (through a virtual mapping that
+        resolves to the same region) and the accelerators (directly) touch
+        buffer contents — there is a single copy of the data.
+        """
+        dtype = np.dtype(dtype)
+        count = int(np.prod(shape)) if shape else 1
+        raw = self.view(addr, count * dtype.itemsize)
+        return raw.view(dtype).reshape(shape)
+
+    def regions(self) -> List[Tuple[int, int]]:
+        """List of (start, size) backed regions, ascending."""
+        return [(start, len(backing)) for start, backing in self._regions]

@@ -1,0 +1,101 @@
+"""Cycle-level model of a single DRAM bank with a row buffer.
+
+The bank is a small finite-state machine constrained by the timing
+parameters in :class:`repro.memsys.timing.DramTiming`. It tracks which row
+is open and the earliest instants at which the next ACTIVATE, column
+command and PRECHARGE may legally issue. The enclosing vault/channel owns
+the shared data bus; the bank reports when its data transfer *could* start
+and the caller resolves bus contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsys.timing import DramTiming
+
+
+@dataclass
+class BankStats:
+    """Event counters used by the energy model."""
+
+    activates: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    def merge(self, other: "BankStats") -> None:
+        self.activates += other.activates
+        self.row_hits += other.row_hits
+        self.row_misses += other.row_misses
+        self.reads += other.reads
+        self.writes += other.writes
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+@dataclass
+class Bank:
+    """One bank: open-row tracking plus timing-constraint bookkeeping."""
+
+    timing: DramTiming
+    open_row: int = -1
+    _ready_act: float = 0.0      # earliest next ACTIVATE
+    _ready_col: float = 0.0      # earliest next READ/WRITE column command
+    _ready_pre: float = 0.0      # earliest next PRECHARGE
+    stats: BankStats = field(default_factory=BankStats)
+
+    def access(self, row: int, is_write: bool, now: float,
+               bus_free_at: float) -> float:
+        """Perform one burst access to ``row`` at time ``now``.
+
+        Args:
+            row: target row index.
+            is_write: write (True) or read (False).
+            now: earliest time the command sequence may start.
+            bus_free_at: earliest time the shared data bus is available.
+
+        Returns:
+            The time at which the data burst *finishes* on the bus. The
+            caller must treat ``finish`` as the new bus-free time.
+        """
+        t = self.timing
+        if self.open_row == row:
+            self.stats.row_hits += 1
+            col_at = max(now, self._ready_col)
+        else:
+            self.stats.row_misses += 1
+            if self.open_row >= 0:
+                pre_at = max(now, self._ready_pre)
+                act_at = max(pre_at + t.t_rp, self._ready_act)
+            else:
+                act_at = max(now, self._ready_act)
+            self.stats.activates += 1
+            self.open_row = row
+            self._ready_pre = act_at + t.t_ras
+            col_at = act_at + t.t_rcd
+
+        # The data burst must also wait for the shared bus.
+        data_start = max(col_at + t.t_cas, bus_free_at)
+        finish = data_start + t.t_burst
+
+        self._ready_col = max(self._ready_col, col_at + t.t_ccd)
+        if is_write:
+            self.stats.writes += 1
+            self._ready_pre = max(self._ready_pre, finish + t.t_wr)
+        else:
+            self.stats.reads += 1
+            self._ready_pre = max(self._ready_pre, col_at + t.t_cas)
+        self._ready_act = max(self._ready_act, self._ready_pre + t.t_rp)
+        return finish
+
+    def row_is_open(self, row: int) -> bool:
+        return self.open_row == row

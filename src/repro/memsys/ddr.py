@@ -1,0 +1,44 @@
+"""Conventional DDR3 memory systems.
+
+Two flavours back the paper's comparison platforms (Table 3):
+
+* :class:`DdrMemory` with 2 channels — the 25.6 GB/s Haswell / PSAS
+  memory system;
+* :class:`DdrMemory` with 8 channels — the 102.4 GB/s 2D memory-side
+  accelerated system (MSAS, NDA-style rank-level acceleration).
+"""
+
+from __future__ import annotations
+
+from repro.memsys.device import MemoryDevice
+from repro.memsys.energy import DDR3_ENERGY, DramEnergy
+from repro.memsys.timing import DDR3_1600_CHANNEL, DramTiming
+
+#: Channel interleave at cache-line granularity, as on real client parts.
+CHANNEL_INTERLEAVE_BYTES = 64
+
+
+class DdrMemory(MemoryDevice):
+    """A multi-channel DDR3 memory system."""
+
+    def __init__(self, channels: int = 2,
+                 timing: DramTiming = DDR3_1600_CHANNEL,
+                 energy: DramEnergy = DDR3_ENERGY,
+                 interleave_bytes: int = CHANNEL_INTERLEAVE_BYTES,
+                 name: str = "ddr3"):
+        super().__init__(timing, energy, units=channels,
+                         interleave_bytes=interleave_bytes, name=name)
+
+    @property
+    def channels(self) -> int:
+        return self.units
+
+
+def haswell_memory() -> DdrMemory:
+    """The 25.6 GB/s dual-channel DDR3-1600 system of the i7-4770K."""
+    return DdrMemory(channels=2, name="ddr3-2ch")
+
+
+def msas_memory() -> DdrMemory:
+    """The 102.4 GB/s 2D memory-side accelerated system (8 channels)."""
+    return DdrMemory(channels=8, name="ddr3-8ch")

@@ -1,0 +1,92 @@
+"""Common machinery for multi-unit memory devices.
+
+A *device* is a set of parallel units (HMC vaults or DDR channels), each a
+:class:`~repro.memsys.vault.VaultController`. A request trace is split by
+the address mapping across units, each unit drains its share concurrently,
+and the device-level drain time is the slowest unit. Energy is assembled
+from the per-bank event counters plus static power over the drain time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.memsys.address import AddressMapping
+from repro.memsys.bank import BankStats
+from repro.memsys.energy import DramEnergy
+from repro.memsys.result import MemResult
+from repro.memsys.timing import DramTiming
+from repro.memsys.vault import VaultController
+
+#: A device-level request: (physical address, is_write).
+Request = Tuple[int, bool]
+
+
+class MemoryDevice:
+    """A memory device made of parallel vaults/channels."""
+
+    def __init__(self, timing: DramTiming, energy: DramEnergy, units: int,
+                 interleave_bytes: int, reorder_window: int = 8,
+                 name: str = "dram"):
+        self.timing = timing
+        self.energy = energy
+        self.units = units
+        self.name = name
+        self.reorder_window = reorder_window
+        self.mapping = AddressMapping(
+            interleave_bytes=interleave_bytes,
+            units=units,
+            banks=timing.banks,
+            row_bytes=timing.row_bytes,
+        )
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate peak bandwidth in bytes/second."""
+        return self.units * self.timing.peak_bandwidth
+
+    @property
+    def request_bytes(self) -> int:
+        """Payload granularity of one request (one burst)."""
+        return self.timing.burst_bytes
+
+    @property
+    def total_banks(self) -> int:
+        return self.units * self.timing.banks
+
+    def static_power(self) -> float:
+        """Background power of the whole device in watts."""
+        return self.total_banks * self.energy.p_static_per_bank
+
+    def run_trace(self, requests: Iterable[Request]) -> MemResult:
+        """Drain a request trace and report time/energy/bandwidth.
+
+        Each request moves ``request_bytes`` of payload. Requests are
+        distributed to units by the address mapping; each unit services
+        its share with fresh controller state (a drain models one
+        operation executing from a quiescent device).
+        """
+        per_unit: List[List[Tuple[int, int, bool]]] = [
+            [] for _ in range(self.units)]
+        count = 0
+        decompose = self.mapping.decompose
+        for addr, is_write in requests:
+            unit, bank, row, _ = decompose(addr)
+            per_unit[unit].append((bank, row, is_write))
+            count += 1
+        finish = 0.0
+        stats = BankStats()
+        for unit_requests in per_unit:
+            if not unit_requests:
+                continue
+            controller = VaultController(self.timing, self.reorder_window)
+            result = controller.service(unit_requests)
+            finish = max(finish, result.finish_time)
+            stats.merge(result.stats)
+        bytes_moved = count * self.request_bytes
+        dynamic = (stats.activates * self.energy.e_activate
+                   + stats.accesses * self.energy.burst_energy(
+                       self.request_bytes))
+        total_energy = dynamic + self.static_power() * finish
+        return MemResult(time=finish, energy=total_energy,
+                         bytes_moved=bytes_moved, stats=stats)

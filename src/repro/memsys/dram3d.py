@@ -1,0 +1,35 @@
+"""The 3D-stacked (HMC-like) DRAM device used by MEALib.
+
+Sixteen vaults, each a vertical stack of banks reached through a TSV bus,
+give the 510 GB/s-class internal bandwidth the paper's accelerators are
+designed against (Table 3). Accelerator tiles sit one per vault on the
+accelerator layer; the device object is shared by the functional memory
+model (:mod:`repro.memmgmt.physmem`) and the timing model.
+"""
+
+from __future__ import annotations
+
+from repro.memsys.device import MemoryDevice
+from repro.memsys.energy import HMC_ENERGY, DramEnergy
+from repro.memsys.timing import HMC_VAULT, DramTiming
+
+#: Interleave granularity across vaults (HMC block size class).
+VAULT_INTERLEAVE_BYTES = 256
+
+#: Number of vaults in one stack.
+DEFAULT_VAULTS = 16
+
+
+class StackedDram(MemoryDevice):
+    """One HMC-like memory stack with an accelerator layer underneath."""
+
+    def __init__(self, timing: DramTiming = HMC_VAULT,
+                 energy: DramEnergy = HMC_ENERGY,
+                 vaults: int = DEFAULT_VAULTS,
+                 interleave_bytes: int = VAULT_INTERLEAVE_BYTES):
+        super().__init__(timing, energy, units=vaults,
+                         interleave_bytes=interleave_bytes, name="hmc-stack")
+
+    @property
+    def vaults(self) -> int:
+        return self.units

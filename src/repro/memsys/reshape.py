@@ -1,0 +1,75 @@
+"""Data reshape infrastructure on the DRAM logic layer.
+
+The paper places a dedicated reshape unit (after Akin et al., ISCA'15) on
+the HMC logic base because layout transforms — linear-to-blocked,
+row-major to column-major — are needed both by the CPU and by accelerators
+whose datapaths want blocked data (e.g. the FFT core). The unit performs a
+*tiled* transpose: it stages a tile in an SRAM buffer so that both the
+read and the write side touch DRAM in row-buffer-friendly blocks, instead
+of the one-element-per-row pattern of a naive transpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.memsys.trace import StreamSpec
+
+
+@dataclass(frozen=True)
+class ReshapeUnit:
+    """The logic-layer reshape engine.
+
+    Attributes:
+        tile_elems: side of the square staging tile, in elements. The
+            SRAM buffer holds ``tile_elems**2`` elements.
+        sram_bytes_limit: capacity of the staging buffer.
+    """
+
+    tile_elems: int = 64
+    sram_bytes_limit: int = 64 * 1024
+
+    def tile_for(self, elem_bytes: int) -> int:
+        """Largest tile side that fits the staging SRAM."""
+        side = self.tile_elems
+        while side > 1 and side * side * elem_bytes > self.sram_bytes_limit:
+            side //= 2
+        return side
+
+    def transpose_streams(self, src: int, dst: int, rows: int, cols: int,
+                          elem_bytes: int) -> List[StreamSpec]:
+        """Access streams of a tiled ``rows x cols`` transpose.
+
+        Reads walk the source in ``tile``-row dense blocks (one block per
+        source row inside the tile stripe); writes do the same on the
+        destination. Both sides therefore move ``tile * elem_bytes`` dense
+        bytes per DRAM visit rather than a single element.
+        """
+        tile = min(self.tile_for(elem_bytes), rows, cols)
+        n_elems = rows * cols
+        src_row_bytes = cols * elem_bytes
+        dst_row_bytes = rows * elem_bytes
+        read = StreamSpec(
+            base=src, n_elems=n_elems, elem_bytes=elem_bytes,
+            is_write=False, kind="blocked", block_elems=tile,
+            block_stride=src_row_bytes)
+        write = StreamSpec(
+            base=dst, n_elems=n_elems, elem_bytes=elem_bytes,
+            is_write=True, kind="blocked", block_elems=tile,
+            block_stride=dst_row_bytes)
+        return [read, write]
+
+    def naive_transpose_streams(self, src: int, dst: int, rows: int,
+                                cols: int, elem_bytes: int
+                                ) -> List[StreamSpec]:
+        """Access streams of an untiled transpose (the CPU-side pattern):
+        sequential reads but one-element strided writes that miss the row
+        buffer on nearly every access."""
+        n_elems = rows * cols
+        read = StreamSpec(base=src, n_elems=n_elems, elem_bytes=elem_bytes,
+                          is_write=False, kind="seq")
+        write = StreamSpec(
+            base=dst, n_elems=n_elems, elem_bytes=elem_bytes,
+            is_write=True, kind="strided", stride=rows * elem_bytes)
+        return [read, write]

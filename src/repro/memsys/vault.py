@@ -1,0 +1,72 @@
+"""Vault/channel controller: banks behind one shared data bus.
+
+The controller services an ordered request stream with a small FR-FCFS
+reorder window: among the oldest ``window`` pending requests it prefers one
+that hits an already-open row, falling back to the oldest request. This is
+the scheduling policy real vault controllers (and the paper's in-house
+simulator) use to recover row-buffer locality from interleaved streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.memsys.bank import Bank, BankStats
+from repro.memsys.timing import DramTiming
+
+#: One request local to a vault/channel: (bank, row, is_write).
+LocalRequest = Tuple[int, int, bool]
+
+
+@dataclass
+class VaultResult:
+    """Drain outcome for one vault/channel."""
+
+    finish_time: float
+    stats: BankStats
+
+
+class VaultController:
+    """Memory controller for the banks behind one data bus."""
+
+    def __init__(self, timing: DramTiming, window: int = 8):
+        if window < 1:
+            raise ValueError("reorder window must be >= 1")
+        self.timing = timing
+        self.window = window
+        self.banks = [Bank(timing) for _ in range(timing.banks)]
+        self._bus_free_at = 0.0
+
+    def service(self, requests: Sequence[LocalRequest],
+                start: float = 0.0) -> VaultResult:
+        """Drain ``requests`` starting no earlier than ``start``.
+
+        Returns the completion time of the last data burst plus merged
+        bank statistics.
+        """
+        pending: List[LocalRequest] = list(requests)
+        now = max(start, self._bus_free_at)
+        finish = now
+        head = 0
+        n = len(pending)
+        while head < n:
+            limit = min(head + self.window, n)
+            pick = head
+            for i in range(head, limit):
+                bank_idx, row, _ = pending[i]
+                if self.banks[bank_idx].row_is_open(row):
+                    pick = i
+                    break
+            bank_idx, row, is_write = pending[pick]
+            if pick != head:
+                pending[pick] = pending[head]
+            head += 1
+            done = self.banks[bank_idx].access(
+                row, is_write, now, self._bus_free_at)
+            self._bus_free_at = done
+            finish = max(finish, done)
+        stats = BankStats()
+        for bank in self.banks:
+            stats.merge(bank.stats)
+        return VaultResult(finish_time=finish, stats=stats)

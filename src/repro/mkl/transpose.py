@@ -1,0 +1,50 @@
+"""Matrix transpose / copy routines (mkl_simatcopy family).
+
+Blocked implementations: tiles of the source are staged and stored to the
+destination so that both sides move dense cache lines — the same
+structure the hardware reshape engine uses, here expressed in software.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Tile edge for the blocked transpose.
+TILE = 64
+
+
+def somatcopy(rows: int, cols: int, alpha: float, a: np.ndarray,
+              b: np.ndarray) -> None:
+    """B := alpha * A^T, out of place (mkl_somatcopy 'T').
+
+    ``a`` holds a row-major ``rows x cols`` matrix; ``b`` receives the
+    row-major ``cols x rows`` transpose.
+    """
+    src = a[: rows * cols].reshape(rows, cols)
+    dst = b[: rows * cols].reshape(cols, rows)
+    for i0 in range(0, rows, TILE):
+        i1 = min(i0 + TILE, rows)
+        for j0 in range(0, cols, TILE):
+            j1 = min(j0 + TILE, cols)
+            dst[j0:j1, i0:i1] = alpha * src[i0:i1, j0:j1].T
+
+
+def simatcopy(rows: int, cols: int, alpha: float, a: np.ndarray) -> None:
+    """A := alpha * A^T, in place (mkl_simatcopy 'T').
+
+    Square matrices swap tiles across the diagonal; rectangular matrices
+    go through a scratch buffer (as MKL itself effectively does).
+    """
+    if rows == cols:
+        mat = a[: rows * cols].reshape(rows, rows)
+        for i0 in range(0, rows, TILE):
+            i1 = min(i0 + TILE, rows)
+            for j0 in range(i0, rows, TILE):
+                j1 = min(j0 + TILE, rows)
+                upper = mat[i0:i1, j0:j1].copy()
+                mat[i0:i1, j0:j1] = alpha * mat[j0:j1, i0:i1].T
+                mat[j0:j1, i0:i1] = alpha * upper.T
+        return
+    scratch = np.empty(rows * cols, dtype=a.dtype)
+    somatcopy(rows, cols, alpha, a, scratch)
+    a[: rows * cols] = scratch

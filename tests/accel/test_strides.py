@@ -1,0 +1,81 @@
+"""Mixed-radix stride tables and parameter shifting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import AxpyParams, DotParams
+from repro.accel.base import (StrideTable, linear_strides, pack_strides,
+                              shift_params, unpack_strides)
+
+
+def test_linear_table():
+    table = linear_strides(AxpyParams, {"x_pa": 64})
+    assert table.trips == (0,)
+    assert table.deltas["x_pa"] == (64,)
+    assert table.deltas["y_pa"] == (0,)
+    assert table.offsets(5) == {"x_pa": 320, "y_pa": 0}
+
+
+def test_linear_rejects_unknown_field():
+    with pytest.raises(ValueError):
+        linear_strides(AxpyParams, {"z_pa": 64})
+
+
+def test_table_arity_checked():
+    with pytest.raises(ValueError):
+        StrideTable(trips=(2, 3), deltas={"x_pa": (1,)})
+
+
+def test_mixed_radix_offsets():
+    # trips (2, 3): iteration order (0,0)(0,1)(0,2)(1,0)...
+    table = StrideTable(trips=(2, 3),
+                        deltas={"x_pa": (100, 10), "y_pa": (0, 1)})
+    assert table.total == 6
+    assert table.offsets(0) == {"x_pa": 0, "y_pa": 0}
+    assert table.offsets(2) == {"x_pa": 20, "y_pa": 2}
+    assert table.offsets(3) == {"x_pa": 100, "y_pa": 0}
+    assert table.offsets(5) == {"x_pa": 120, "y_pa": 2}
+
+
+def test_pack_unpack_roundtrip():
+    table = StrideTable(
+        trips=(4, 8),
+        deltas={"x_pa": (512, 8), "y_pa": (0, 16), "out_pa": (8, 1)})
+    blob = pack_strides(DotParams, table)
+    back = unpack_strides(DotParams, blob)
+    assert back.trips == (4, 8)
+    assert back.deltas["x_pa"] == (512, 8)
+    assert back.deltas["out_pa"] == (8, 1)
+
+
+def test_pack_accepts_mapping():
+    blob = pack_strides(AxpyParams, {"y_pa": 32})
+    back = unpack_strides(AxpyParams, blob)
+    assert back.deltas["y_pa"] == (32,)
+
+
+def test_shift_params():
+    base = AxpyParams(n=16, alpha=1.0, x_pa=1000, y_pa=2000)
+    shifted = shift_params(base, {"x_pa": 64, "y_pa": 128}, 3)
+    assert shifted.x_pa == 1000 + 192
+    assert shifted.y_pa == 2000 + 384
+    assert shifted.n == 16
+    assert shift_params(base, {"x_pa": 64}, 0) is base
+    assert shift_params(base, None, 7) is base
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=35))
+def test_offsets_match_nested_loops(t0, t1, i):
+    """Mixed-radix offsets must equal what the source loop nest does."""
+    table = StrideTable(trips=(t0, t1),
+                        deltas={"x_pa": (17, 3), "y_pa": (5, 0)})
+    if i >= t0 * t1:
+        i = i % (t0 * t1)
+    outer, inner = divmod(i, t1)
+    expected_x = 17 * outer + 3 * inner
+    expected_y = 5 * outer
+    assert table.offsets(i) == {"x_pa": expected_x, "y_pa": expected_y}

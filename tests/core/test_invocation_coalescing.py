@@ -1,0 +1,105 @@
+"""Invocation cost model and looped-stream coalescing in the CU."""
+
+import pytest
+
+from repro.accel import DotAccelerator, DotParams, DTYPE_C64
+from repro.accel.base import StrideTable
+from repro.core.config_unit import (CompInstance,
+                                    _coalesce_looped_stream,
+                                    _comp_streams_aggregated,
+                                    _stream_footprint)
+from repro.core.invocation import InvocationModel
+from repro.memsys.trace import StreamSpec
+
+
+class TestInvocationModel:
+    def setup_method(self):
+        self.model = InvocationModel()
+
+    def test_components_add_up(self):
+        total = self.model.total(1024, 1 << 20)
+        parts = (self.model.flush_cost(1 << 20)
+                 .plus(self.model.descriptor_cost(1024))
+                 .plus(self.model.doorbell_cost()))
+        assert total.time == pytest.approx(parts.time)
+        assert total.energy == pytest.approx(parts.energy)
+
+    def test_flush_excludable(self):
+        with_f = self.model.total(1024, 1 << 20, include_flush=True)
+        without = self.model.total(1024, 1 << 20, include_flush=False)
+        assert without.time < with_f.time
+
+    def test_bigger_descriptor_costs_more(self):
+        small = self.model.descriptor_cost(64)
+        big = self.model.descriptor_cost(1 << 16)
+        assert big.time > small.time
+
+    def test_overhead_microsecond_scale(self):
+        """Per-invocation overhead must be tens of microseconds — the
+        scale that makes Fig 12b's software loop lose by ~10x."""
+        total = self.model.total(4096, 1 << 20)
+        assert 5e-6 < total.time < 500e-6
+
+
+class TestStreamFootprint:
+    def test_seq(self):
+        s = StreamSpec(base=0, n_elems=64, elem_bytes=4)
+        assert _stream_footprint(s) == 256
+
+    def test_strided(self):
+        s = StreamSpec(base=0, n_elems=32, elem_bytes=8, kind="strided",
+                       stride=2048)
+        assert _stream_footprint(s) == 32 * 2048
+
+    def test_blocked(self):
+        s = StreamSpec(base=0, n_elems=128, elem_bytes=4, kind="blocked",
+                       block_elems=64, block_stride=4096)
+        assert _stream_footprint(s) == 2 * 4096
+
+
+class TestCoalescing:
+    def test_invariant_operand_read_once(self):
+        """delta 0 at a loop level = LM reuse: total elements shrink."""
+        s = StreamSpec(base=0, n_elems=32, elem_bytes=8)
+        out = _coalesce_looped_stream(s, (0,), (16,), 16)
+        assert out.n_elems == 32            # one read serves all trips
+
+    def test_dense_strided_tiling_becomes_seq(self):
+        """STAP's snapshot columns: stride 2048, advance 8/iter over
+        256 iterations covers the block densely."""
+        s = StreamSpec(base=0, n_elems=32, elem_bytes=8, kind="strided",
+                       stride=2048)
+        out = _coalesce_looped_stream(s, (8,), (256,), 256)
+        assert out.kind == "seq"
+        assert out.n_elems == 32 * 256
+
+    def test_concatenation(self):
+        s = StreamSpec(base=0, n_elems=64, elem_bytes=4)
+        out = _coalesce_looped_stream(s, (256,), (10,), 10)
+        assert out.n_elems == 640
+
+    def test_unmatched_delta_falls_back(self):
+        s = StreamSpec(base=0, n_elems=64, elem_bytes=4)
+        out = _coalesce_looped_stream(s, (12345,), (10,), 10)
+        assert out.n_elems == 640           # conservative scaling
+
+    def test_stap_dot_nest_reads_each_buffer_once(self):
+        """End-to-end: the 4-deep STAP dot nest coalesces to unique
+        bytes (wts + snapshots + prods read/written once)."""
+        tdof, tbs, n_sv, pairs = 32, 64, 8, 6
+        core = DotAccelerator()
+        params = DotParams(n=tdof, x_pa=0, y_pa=1 << 20, out_pa=1 << 24,
+                           incy=tbs, dtype=DTYPE_C64)
+        # dims: (pair, sv, cell); deltas per addr field in bytes
+        table = StrideTable(
+            trips=(pairs, n_sv, tbs),
+            deltas={"x_pa": (n_sv * tdof * 8, tdof * 8, 0),
+                    "y_pa": (tdof * tbs * 8, 0, 8),
+                    "out_pa": (n_sv * tbs * 8, tbs * 8, 8)})
+        comp = CompInstance(core=core, params=params, strides=table)
+        count = pairs * n_sv * tbs
+        streams = _comp_streams_aggregated(comp, count)
+        x_stream = next(s for s in streams if s.base == 0)
+        y_stream = next(s for s in streams if s.base == 1 << 20)
+        assert x_stream.total_bytes == pairs * n_sv * tdof * 8
+        assert y_stream.total_bytes == pairs * tdof * tbs * 8

@@ -1,0 +1,90 @@
+"""TDL parsing, printing, and tree invariants."""
+
+import pytest
+
+from repro.core import (Comp, Loop, Pass, TdlError, TdlProgram, format_tdl,
+                        parse_tdl)
+
+SAMPLE = """
+LOOP 128 {
+  PASS {
+    COMP RESMP reshape.para
+    COMP FFT fft.para
+  }
+}
+PASS {
+  COMP AXPY axpy.para
+}
+"""
+
+
+def test_parse_structure():
+    prog = parse_tdl(SAMPLE)
+    assert len(prog.blocks) == 2
+    loop, solo = prog.blocks
+    assert isinstance(loop, Loop)
+    assert loop.count == 128
+    assert loop.body[0].comps[0].accel == "RESMP"
+    assert loop.body[0].comps[1].param_file == "fft.para"
+    assert isinstance(solo, Pass)
+    assert not solo.chained
+    assert loop.body[0].chained
+
+
+def test_roundtrip():
+    prog = parse_tdl(SAMPLE)
+    assert parse_tdl(format_tdl(prog)) == prog
+
+
+def test_comments_ignored():
+    prog = parse_tdl("# header\nPASS { # inline\n COMP DOT d.para\n}\n")
+    assert prog.blocks[0].comps[0].accel == "DOT"
+
+
+def test_invocation_count():
+    prog = parse_tdl(SAMPLE)
+    assert prog.invocation_count() == 128 * 2 + 1
+
+
+def test_comps_listing():
+    prog = parse_tdl(SAMPLE)
+    assert [c.accel for c in prog.comps()] == ["RESMP", "FFT", "AXPY"]
+
+
+@pytest.mark.parametrize("bad", [
+    "",
+    "PASS { }",
+    "LOOP { PASS { COMP A a } }",
+    "LOOP 0 { PASS { COMP A a } }",
+    "LOOP 4 { }",
+    "PASS { COMP FFT }",
+    "COMP FFT f.para",
+    "PASS { COMP FFT f.para",
+    "LOOP abc { PASS { COMP FFT f.para } }",
+])
+def test_malformed_rejected(bad):
+    with pytest.raises(TdlError):
+        parse_tdl(bad)
+
+
+def test_tree_validation():
+    with pytest.raises(TdlError):
+        Pass(comps=())
+    with pytest.raises(TdlError):
+        Loop(count=2, body=())
+    with pytest.raises(TdlError):
+        Loop(count=-1, body=(Pass(comps=(Comp("FFT", "f"),)),))
+    with pytest.raises(TdlError):
+        TdlProgram(blocks=())
+    with pytest.raises(TdlError):
+        Comp(accel="", param_file="x")
+
+
+def test_loop_only_contains_passes():
+    with pytest.raises(TdlError):
+        Loop(count=2, body=(Comp("FFT", "f"),))
+
+
+def test_pass_only_contains_comps():
+    with pytest.raises(TdlError):
+        Pass(comps=(Pass(comps=(Comp("FFT", "f"),)),))

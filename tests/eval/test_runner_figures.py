@@ -1,0 +1,120 @@
+"""Evaluation harness: runner shape properties and figure generators.
+
+These are the repository's headline assertions — who wins, by roughly
+what factor — checked at reduced scale so the suite stays fast. The
+full-scale numbers live in the benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.eval.figures import (fig1, fig11, fig12, render, table1,
+                                table2, table3, table4)
+from repro.eval.runner import (IndividualOpRunner, efficiency_vs_haswell,
+                               geometric_mean, speedups_vs_haswell)
+from repro.eval.workloads import OP_ORDER, TABLE2
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return IndividualOpRunner(scale=0.1).run_all()
+
+
+class TestRunner:
+    def test_all_ops_all_platforms(self, runs):
+        assert set(runs) == set(OP_ORDER)
+        for op in OP_ORDER:
+            assert set(runs[op]) == {"Haswell", "XeonPhi", "PSAS",
+                                     "MSAS", "MEALib"}
+
+    def test_mealib_fastest_everywhere(self, runs):
+        """Fig 9's headline: MEALib wins on every operation."""
+        speed = speedups_vs_haswell(runs)
+        for op in OP_ORDER:
+            others = [v for p, v in speed[op].items() if p != "MEALib"]
+            assert speed[op]["MEALib"] > max(others)
+
+    def test_bandwidth_ordering(self, runs):
+        """More memory bandwidth, more speed: PSAS < MSAS < MEALib."""
+        speed = speedups_vs_haswell(runs)
+        for op in OP_ORDER:
+            assert speed[op]["PSAS"] < speed[op]["MSAS"] \
+                < speed[op]["MEALib"]
+
+    def test_reshp_largest_spmv_smallest(self, runs):
+        speed = speedups_vs_haswell(runs)
+        mealib = {op: speed[op]["MEALib"] for op in OP_ORDER}
+        assert max(mealib, key=mealib.get) == "RESHP"
+        assert min(mealib, key=mealib.get) == "SPMV"
+
+    def test_efficiency_gains_exceed_speedups(self, runs):
+        """Fig 10 vs Fig 9: energy gains are larger (MEALib draws far
+        less power than the 48W-class Haswell package)."""
+        speed = speedups_vs_haswell(runs)
+        eff = efficiency_vs_haswell(runs)
+        larger = sum(eff[op]["MEALib"] > speed[op]["MEALib"]
+                     for op in OP_ORDER)
+        assert larger >= 5
+
+    def test_phi_less_efficient_than_haswell(self, runs):
+        eff = efficiency_vs_haswell(runs)
+        for op in OP_ORDER:
+            assert eff[op]["XeonPhi"] < 1.0
+
+    def test_mealib_power_in_band(self, runs):
+        for op in OP_ORDER:
+            assert 5.0 < runs[op]["MEALib"].result.power < 40.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestWorkloads:
+    def test_table2_covers_all_ops(self):
+        assert set(TABLE2) == set(OP_ORDER)
+
+    def test_scaling_shrinks(self):
+        big = TABLE2["AXPY"].params(1.0)
+        small = TABLE2["AXPY"].params(0.01)
+        assert small.n < big.n
+
+    def test_paper_scale_sizes(self):
+        assert TABLE2["AXPY"].params(1.0).n == 256 << 20
+        gemv = TABLE2["GEMV"].params(1.0)
+        assert gemv.m == gemv.n == 16384
+        fft = TABLE2["FFT"].params(1.0)
+        assert fft.n == 8192 and fft.batch == 8192
+
+
+class TestFigures:
+    def test_fig1_report(self):
+        report = fig1()
+        assert len(report["rows"]) == 9
+        assert set(report["suite_maxima"]) == {"R", "PERFECT", "PARSEC"}
+
+    def test_static_tables(self):
+        assert len(table1()["rows"]) == 7
+        assert len(table2()["rows"]) == 7
+        assert len(table3()["rows"]) == 5
+        assert len(table4()["rows"]) == 5
+
+    def test_fig11_fast_mode(self):
+        report = fig11(fast=True)
+        lo, hi = report["fft_eff_range_gflops_per_w"]
+        assert hi > 1.5 * lo              # a real spread, as in Fig 11a
+        slo, shi = report["spmv_eff_range_gflops_per_w"]
+        assert shi < 3.0                  # SPMV never gets efficient
+
+    def test_fig12_gains_decrease_with_size(self):
+        report = fig12(sides=(256, 1024, 4096))
+        chain = [row["gain"] for row in report["chaining"]]
+        loop = [row["gain"] for row in report["looping"]]
+        assert chain[0] > chain[-1]
+        assert loop[0] > loop[-1]
+        assert chain[0] > 1.5             # paper: 2.5x at 256
+        assert loop[0] > 5.0              # paper: 9.5x at 256
+
+    def test_render_produces_text(self):
+        text = render(table3())
+        assert "MEALib" in text
+        assert "bandwidth" in text

@@ -1,0 +1,70 @@
+"""Cache-flush model and accelerated-platform wiring."""
+
+import pytest
+
+from repro.accel import AxpyAccelerator, AxpyParams
+from repro.host import (CacheHierarchy, mealib_platform, msas, psas)
+
+
+class TestCacheFlush:
+    def test_flush_has_base_latency(self):
+        c = CacheHierarchy()
+        res = c.flush_cost(working_set_bytes=0)
+        assert res.time == pytest.approx(c.base_latency)
+
+    def test_flush_bounded_by_llc(self):
+        c = CacheHierarchy()
+        huge = c.flush_cost(working_set_bytes=1 << 34)
+        expected = c.base_latency + (c.llc_bytes * c.dirty_fraction
+                                     ) / c.flush_bw
+        assert huge.time == pytest.approx(expected)
+
+    def test_small_working_set_cheaper(self):
+        c = CacheHierarchy()
+        small = c.flush_cost(working_set_bytes=64 * 1024)
+        big = c.flush_cost(working_set_bytes=1 << 30)
+        assert small.time < big.time
+
+    def test_energy_positive(self):
+        assert CacheHierarchy().flush_cost(1 << 20).energy > 0
+
+    def test_invalid_dirty_fraction(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(dirty_fraction=1.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(llc_bytes=0)
+
+
+class TestAcceleratedSystems:
+    def setup_method(self):
+        self.params = AxpyParams(n=1 << 22, alpha=1.0, x_pa=0,
+                                 y_pa=1 << 24)
+        self.core = AxpyAccelerator()
+
+    def test_bandwidth_hierarchy(self):
+        """More bandwidth -> faster: PSAS < MSAS < MEALib."""
+        t_psas = psas().run(self.core, self.params).result.time
+        t_msas = msas().run(self.core, self.params).result.time
+        t_mea = mealib_platform().run(self.core, self.params).result.time
+        assert t_mea < t_msas < t_psas
+
+    def test_interface_power_included(self):
+        system = mealib_platform()
+        with_iface = system.run(self.core, self.params).result
+        bare = self.core.model(system.device, self.params).result
+        extra = with_iface.energy - bare.energy
+        assert extra == pytest.approx(
+            system.interface_power * with_iface.time)
+
+    def test_platform_names(self):
+        assert psas().name == "PSAS"
+        assert msas().name == "MSAS"
+        assert mealib_platform().name == "MEALib"
+
+    def test_mealib_power_in_table5_envelope(self):
+        """Per-op MEALib power must land in the paper's 8-24 W band."""
+        big = AxpyParams(n=1 << 26, alpha=1.0, x_pa=0, y_pa=1 << 29)
+        res = mealib_platform().run(self.core, big).result
+        assert 8.0 < res.power < 30.0

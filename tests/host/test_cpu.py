@@ -1,0 +1,101 @@
+"""Host CPU roofline model tests."""
+
+import pytest
+
+from repro.host import CpuModel, CpuSpec, haswell, xeon_phi
+from repro.mkl import axpy_profile, dot_profile, gemv_profile, reshp_profile
+
+
+def test_haswell_peak_gflops_matches_paper():
+    # the paper quotes 112 GFLOPS at 3.5 GHz
+    assert haswell().spec.peak_gflops == pytest.approx(112.0)
+
+
+def test_memory_bound_op_limited_by_bandwidth():
+    cpu = haswell()
+    p = axpy_profile(1 << 26)
+    res = cpu.run_profile(p)
+    traffic = p.bytes_read + cpu.spec.rfo_factor * p.bytes_written
+    t_mem = traffic / (cpu.spec.peak_bw * cpu.spec.bw_eff["stream"])
+    assert res.time == pytest.approx(t_mem)
+
+
+def test_power_in_measured_envelope():
+    """RAPL on the i7-4770K under MKL load lands in the 40-50 W range."""
+    res = haswell().run_profile(dot_profile(1 << 26))
+    assert 35.0 < res.power < 55.0
+
+
+def test_single_thread_op_draws_less_power():
+    multi = haswell().run_profile(dot_profile(1 << 26))
+    single = haswell().run_profile(reshp_profile(4096, 4096))
+    assert single.power < multi.power
+
+
+def test_profile_thread_hint_honoured():
+    cpu = haswell()
+    hinted = cpu.run_profile(reshp_profile(4096, 4096))      # threads=1
+    forced = cpu.run_profile(reshp_profile(4096, 4096), threads=4)
+    assert hinted.power < forced.power
+
+
+def test_phi_not_much_faster_than_haswell():
+    """The paper's headline observation about the evaluated MKL on Phi."""
+    p = axpy_profile(1 << 28)
+    t_h = haswell().run_profile(p).time
+    t_phi = xeon_phi().run_profile(p).time
+    assert 1.0 < t_h / t_phi < 4.0
+
+
+def test_phi_terrible_at_transpose():
+    p = reshp_profile(16384, 16384)
+    t_h = haswell().run_profile(p).time
+    t_phi = xeon_phi().run_profile(p).time
+    assert t_phi > 10 * t_h
+
+
+def test_phi_less_energy_efficient():
+    p = dot_profile(1 << 28)
+    e_h = haswell().run_profile(p).energy
+    e_phi = xeon_phi().run_profile(p).energy
+    assert e_phi > e_h
+
+
+def test_naive_slower_than_library():
+    cpu = haswell()
+    p = gemv_profile(4096, 4096)
+    lib = cpu.run_profile(p)
+    naive = cpu.run_naive(p, threads=1)
+    assert naive.time > lib.time
+
+
+def test_interpreter_slowdown_compounds():
+    cpu = haswell()
+    p = dot_profile(1 << 20)
+    plain = cpu.run_naive(p, threads=1)
+    interp = cpu.run_naive(p, threads=1, interpreter_slowdown=30.0)
+    assert interp.time > 5 * plain.time
+
+
+def test_threads_clamped_to_cores():
+    cpu = haswell()
+    res_over = cpu.run_profile(dot_profile(1 << 20), threads=64)
+    res_max = cpu.run_profile(dot_profile(1 << 20), threads=4)
+    assert res_over.time == pytest.approx(res_max.time)
+    assert res_over.power == pytest.approx(res_max.power)
+
+
+def test_idle_draw():
+    cpu = haswell()
+    res = cpu.idle_draw(2.0)
+    assert res.time == 2.0
+    assert res.energy == pytest.approx(2.0 * cpu.spec.p_idle)
+
+
+def test_custom_spec_round_trip():
+    spec = CpuSpec(name="toy", cores=2, freq_hz=1e9, flops_per_cycle=4,
+                   peak_bw=10e9)
+    cpu = CpuModel(spec)
+    assert cpu.spec.peak_gflops == pytest.approx(8.0)
+    res = cpu.run_profile(axpy_profile(1 << 20))
+    assert res.time > 0 and res.energy > 0

@@ -1,0 +1,122 @@
+"""Unit and property tests for the contiguous allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memmgmt import AllocationError, ContiguousAllocator
+
+
+def test_basic_alloc_free():
+    a = ContiguousAllocator(0x1000, 0x10000)
+    p = a.alloc(256)
+    assert p >= 0x1000
+    assert a.free(p) == 256
+    assert a.free_bytes == 0x10000
+
+
+def test_alignment_honoured():
+    a = ContiguousAllocator(0, 1 << 20)
+    for align in (64, 4096, 65536):
+        p = a.alloc(100, align=align)
+        assert p % align == 0
+
+
+def test_bad_alignment():
+    a = ContiguousAllocator(0, 1024)
+    with pytest.raises(AllocationError):
+        a.alloc(10, align=3)
+
+
+def test_zero_size_rejected():
+    a = ContiguousAllocator(0, 1024)
+    with pytest.raises(AllocationError):
+        a.alloc(0)
+
+
+def test_exhaustion():
+    a = ContiguousAllocator(0, 1024)
+    a.alloc(1024, align=1)
+    with pytest.raises(AllocationError):
+        a.alloc(1, align=1)
+
+
+def test_double_free():
+    a = ContiguousAllocator(0, 1024)
+    p = a.alloc(64)
+    a.free(p)
+    with pytest.raises(AllocationError):
+        a.free(p)
+
+
+def test_free_unknown():
+    a = ContiguousAllocator(0, 1024)
+    with pytest.raises(AllocationError):
+        a.free(0x40)
+
+
+def test_allocations_do_not_overlap():
+    a = ContiguousAllocator(0, 1 << 16)
+    spans = []
+    for size in (100, 200, 300, 4000, 64):
+        p = a.alloc(size)
+        for q, s in spans:
+            assert p + size <= q or q + s <= p
+        spans.append((p, size))
+
+
+def test_coalescing_allows_big_realloc():
+    a = ContiguousAllocator(0, 1 << 16)
+    ptrs = [a.alloc(1 << 12, align=1) for _ in range(16)]
+    for p in ptrs:
+        a.free(p)
+    # after freeing everything, the full span must be allocatable again
+    big = a.alloc(1 << 16, align=1)
+    assert big == 0
+
+
+def test_allocation_size_lookup():
+    a = ContiguousAllocator(0, 1024)
+    p = a.alloc(128)
+    assert a.allocation_size(p) == 128
+    with pytest.raises(AllocationError):
+        a.allocation_size(p + 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=2048),
+                min_size=1, max_size=40))
+def test_alloc_free_all_restores_capacity(sizes):
+    a = ContiguousAllocator(0x4000, 1 << 20)
+    ptrs = []
+    for s in sizes:
+        ptrs.append(a.alloc(s))
+    assert a.live_allocations == len(sizes)
+    for p in ptrs:
+        a.free(p)
+    assert a.free_bytes == 1 << 20
+    assert a.live_allocations == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_interleaved_alloc_free_invariants(data):
+    a = ContiguousAllocator(0, 1 << 18)
+    live = {}
+    for _ in range(30):
+        do_alloc = data.draw(st.booleans()) or not live
+        if do_alloc:
+            size = data.draw(st.integers(min_value=1, max_value=4096))
+            try:
+                p = a.alloc(size)
+            except AllocationError:
+                continue
+            # no overlap with anything live
+            for q, s in live.items():
+                assert p + size <= q or q + s <= p
+            live[p] = size
+        else:
+            p = data.draw(st.sampled_from(sorted(live)))
+            a.free(p)
+            del live[p]
+    assert a.live_allocations == len(live)

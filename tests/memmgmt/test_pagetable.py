@@ -1,0 +1,73 @@
+"""Tests for the page table and VA→PA translation."""
+
+import pytest
+
+from repro.memmgmt import PAGE_SIZE, PageTable, TranslationError
+
+
+@pytest.fixture
+def pt():
+    t = PageTable()
+    t.map_range(0x10000, 0x40000, 4 * PAGE_SIZE)
+    return t
+
+
+def test_page_size_must_be_pow2():
+    with pytest.raises(ValueError):
+        PageTable(page_size=1000)
+
+
+def test_translate_identity_offset(pt):
+    assert pt.translate(0x10000) == 0x40000
+    assert pt.translate(0x10000 + 123) == 0x40000 + 123
+    assert pt.translate(0x10000 + PAGE_SIZE) == 0x40000 + PAGE_SIZE
+
+
+def test_unmapped_raises(pt):
+    with pytest.raises(TranslationError):
+        pt.translate(0x90000)
+
+
+def test_unaligned_map_raises(pt):
+    with pytest.raises(TranslationError):
+        pt.map_range(0x123, 0x40000, PAGE_SIZE)
+    with pytest.raises(TranslationError):
+        pt.map_range(0x20000, 0x41, PAGE_SIZE)
+
+
+def test_double_map_raises(pt):
+    with pytest.raises(TranslationError):
+        pt.map_range(0x10000, 0x80000, PAGE_SIZE)
+
+
+def test_unmap(pt):
+    pt.unmap_range(0x10000, 4 * PAGE_SIZE)
+    with pytest.raises(TranslationError):
+        pt.translate(0x10000)
+    with pytest.raises(TranslationError):
+        pt.unmap_range(0x10000, PAGE_SIZE)
+
+
+def test_translate_range_contiguous(pt):
+    assert pt.translate_range(0x10000, 4 * PAGE_SIZE) == 0x40000
+
+
+def test_translate_range_detects_discontiguity():
+    t = PageTable()
+    t.map_range(0x10000, 0x40000, PAGE_SIZE)
+    t.map_range(0x10000 + PAGE_SIZE, 0x90000, PAGE_SIZE)
+    with pytest.raises(TranslationError):
+        t.translate_range(0x10000, 2 * PAGE_SIZE)
+
+
+def test_partial_page_mapping_rounds_up():
+    t = PageTable()
+    t.map_range(0, 0x5000, 100)       # rounds to one page
+    assert t.translate(99) == 0x5000 + 99
+    assert t.mapped_pages == 1
+
+
+def test_mapping_size_positive():
+    t = PageTable()
+    with pytest.raises(TranslationError):
+        t.map_range(0, 0, 0)

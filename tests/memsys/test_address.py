@@ -1,0 +1,92 @@
+"""Unit and property tests for the address mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys.address import AddressMapping, _fold
+
+MAPPING = AddressMapping(interleave_bytes=256, units=16, banks=8,
+                         row_bytes=2048)
+
+
+def test_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        AddressMapping(interleave_bytes=100, units=16, banks=8,
+                       row_bytes=2048)
+    with pytest.raises(ValueError):
+        AddressMapping(interleave_bytes=256, units=3, banks=8,
+                       row_bytes=2048)
+
+
+def test_rejects_negative_address():
+    with pytest.raises(ValueError):
+        MAPPING.decompose(-1)
+
+
+def test_fields_in_range():
+    for addr in (0, 255, 256, 65536, 1 << 30, (1 << 30) + 12345):
+        unit, bank, row, col = MAPPING.decompose(addr)
+        assert 0 <= unit < 16
+        assert 0 <= bank < 8
+        assert 0 <= col < MAPPING.cols_per_row
+        assert row >= 0
+
+
+def test_same_interleave_block_same_location():
+    u1 = MAPPING.decompose(0)
+    u2 = MAPPING.decompose(255)
+    assert u1 == u2
+
+
+def test_unit_of_matches_decompose():
+    for addr in (0, 300, 5000, 1 << 26, 123456789):
+        assert MAPPING.unit_of(addr) == MAPPING.decompose(addr)[0]
+
+
+def test_sequential_blocks_rotate_units():
+    units = [MAPPING.decompose(i * 256)[0] for i in range(16)]
+    assert sorted(units) == list(range(16))
+
+
+def test_pow2_stride_does_not_alias_one_unit():
+    # 16 KiB stride (a 4096-float matrix row) must still spread over units
+    units = {MAPPING.decompose(i * 16384)[0] for i in range(64)}
+    assert len(units) >= 8
+
+
+def test_pow2_stride_does_not_alias_one_bank():
+    locs = {MAPPING.decompose(i * (1 << 20))[:2] for i in range(64)}
+    banks = {b for (_, b) in locs}
+    assert len(banks) >= 4
+
+
+def test_fold_is_within_modulus():
+    for x in (0, 1, 255, 12345, 1 << 40):
+        assert 0 <= _fold(x, 16) < 16
+        assert 0 <= _fold(x, 8) < 8
+
+
+def test_fold_modulus_one_is_zero():
+    assert _fold(12345, 1) == 0
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=0, max_value=(1 << 34) - 1))
+def test_mapping_is_injective_per_block(addr):
+    """Two addresses in different interleave blocks of the same unit must
+    never decompose to the same (bank, row, col)."""
+    unit, bank, row, col = MAPPING.decompose(addr)
+    # reconstruct the per-unit block index from (bank^fold, row, col)
+    raw_bank = bank ^ _fold(row, MAPPING.banks)
+    block = (row * MAPPING.banks + raw_bank) * MAPPING.cols_per_row + col
+    base_block = block * MAPPING.units
+    # one of the 16 unit positions must reproduce the original address block
+    blocks = [base_block + u for u in range(MAPPING.units)]
+    assert addr // MAPPING.interleave_bytes in blocks
+
+
+@settings(max_examples=100)
+@given(st.integers(min_value=0, max_value=1 << 30))
+def test_decompose_deterministic(addr):
+    assert MAPPING.decompose(addr) == MAPPING.decompose(addr)

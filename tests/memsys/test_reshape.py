@@ -1,0 +1,58 @@
+"""Tests for the logic-layer data reshape infrastructure."""
+
+import pytest
+
+from repro.memsys import ReshapeUnit, StackedDram, haswell_memory
+from repro.memsys.trace import simulate_streams
+
+
+@pytest.fixture
+def unit():
+    return ReshapeUnit()
+
+
+def test_tile_fits_sram(unit):
+    side = unit.tile_for(elem_bytes=4)
+    assert side * side * 4 <= unit.sram_bytes_limit
+
+
+def test_tile_shrinks_for_wide_elements(unit):
+    assert unit.tile_for(elem_bytes=16) <= unit.tile_for(elem_bytes=4)
+
+
+def test_transpose_streams_cover_matrix(unit):
+    streams = unit.transpose_streams(0, 1 << 26, 512, 256, 4)
+    read, write = streams
+    assert read.n_elems == 512 * 256
+    assert write.n_elems == 512 * 256
+    assert not read.is_write
+    assert write.is_write
+
+
+def test_tiled_beats_naive_on_dram(unit):
+    dev = haswell_memory()
+    rows = cols = 2048
+    naive = simulate_streams(
+        dev, unit.naive_transpose_streams(0, 1 << 26, rows, cols, 4))
+    tiled = simulate_streams(
+        dev, unit.transpose_streams(0, 1 << 26, rows, cols, 4))
+    assert tiled.time < naive.time / 2
+
+
+def test_tiled_transpose_row_hit_rate_high(unit):
+    dev = StackedDram()
+    res = simulate_streams(
+        dev, unit.transpose_streams(0, 1 << 26, 2048, 2048, 4))
+    assert res.stats.row_hit_rate > 0.7
+
+
+def test_naive_transpose_row_hit_rate_low(unit):
+    dev = haswell_memory()
+    res = simulate_streams(
+        dev, unit.naive_transpose_streams(0, 1 << 26, 2048, 2048, 4))
+    assert res.stats.row_hit_rate < 0.3
+
+
+def test_small_matrix_tile_clamped(unit):
+    streams = unit.transpose_streams(0, 4096, 8, 8, 4)
+    assert streams[0].block_elems <= 8

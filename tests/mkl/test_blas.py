@@ -1,0 +1,195 @@
+"""BLAS routines verified against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mkl import (cdotc, cherk, cpotrf_lower, ctrsm_left_lower,
+                       ctrsm_left_upper, saxpy, scopy, sdot, sgemv)
+
+RNG = np.random.default_rng(7)
+
+
+def randf(n):
+    return RNG.standard_normal(n).astype(np.float32)
+
+
+def randc(*shape):
+    return (RNG.standard_normal(shape)
+            + 1j * RNG.standard_normal(shape)).astype(np.complex64)
+
+
+class TestLevel1:
+    def test_saxpy_unit_stride(self):
+        x, y = randf(100), randf(100)
+        ref = 2.5 * x + y
+        saxpy(100, 2.5, x, 1, y, 1)
+        np.testing.assert_allclose(y, ref, rtol=1e-6)
+
+    def test_saxpy_strided(self):
+        x, y = randf(300), randf(200)
+        ref = y.copy()
+        ref[::2] += 1.5 * x[::3]
+        saxpy(100, 1.5, x, 3, y, 2)
+        np.testing.assert_allclose(y, ref, rtol=1e-6)
+
+    def test_saxpy_negative_stride(self):
+        x, y = randf(10), randf(10)
+        ref = y.copy()
+        ref += 1.0 * x[::-1]
+        saxpy(10, 1.0, x, -1, y, 1)
+        np.testing.assert_allclose(y, ref, rtol=1e-6)
+
+    def test_sdot(self):
+        x, y = randf(1000), randf(1000)
+        assert sdot(1000, x, 1, y, 1) == pytest.approx(
+            float(np.dot(x, y)), rel=1e-4)
+
+    def test_sdot_strided(self):
+        x, y = randf(64), randf(32)
+        assert sdot(16, x, 4, y, 2) == pytest.approx(
+            float(np.dot(x[::4], y[::2])), rel=1e-4)
+
+    def test_scopy(self):
+        x, y = randf(50), np.zeros(50, np.float32)
+        scopy(50, x, 1, y, 1)
+        np.testing.assert_array_equal(x, y)
+
+    def test_cdotc_conjugates_first_arg(self):
+        x, y = randc(64), randc(64)
+        assert cdotc(64, x, 1, y, 1) == pytest.approx(
+            complex(np.vdot(x, y)), rel=1e-4)
+
+    def test_cdotc_strided_like_stap(self):
+        # STAP calls cblas_cdotc_sub with incy = TBS over the snapshots
+        x, y = randc(8), randc(8 * 13)
+        got = cdotc(8, x, 1, y, 13)
+        assert got == pytest.approx(complex(np.vdot(x, y[::13])), rel=1e-4)
+
+    def test_zero_increment_rejected(self):
+        x = randf(4)
+        with pytest.raises(ValueError):
+            sdot(4, x, 0, x, 1)
+
+    def test_too_small_array_rejected(self):
+        x = randf(4)
+        with pytest.raises(ValueError):
+            sdot(10, x, 1, x, 1)
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=1, max_value=64),
+           st.floats(min_value=-4, max_value=4, allow_nan=False))
+    def test_saxpy_property(self, n, alpha):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n).astype(np.float32)
+        y = rng.standard_normal(n).astype(np.float32)
+        ref = np.float32(alpha) * x + y
+        saxpy(n, alpha, x, 1, y, 1)
+        np.testing.assert_allclose(y, ref, rtol=1e-5, atol=1e-6)
+
+
+class TestGemv:
+    def test_notrans(self):
+        m, n = 37, 53
+        a, x, y = randf(m * n), randf(n), randf(m)
+        ref = 2.0 * (a.reshape(m, n) @ x) + 0.5 * y
+        sgemv(False, m, n, 2.0, a, n, x, 1, 0.5, y, 1)
+        np.testing.assert_allclose(y, ref, rtol=1e-4)
+
+    def test_trans(self):
+        m, n = 16, 8
+        a, x, y = randf(m * n), randf(m), randf(n)
+        ref = 1.0 * (a.reshape(m, n).T @ x) + 0.0 * y
+        sgemv(True, m, n, 1.0, a, n, x, 1, 0.0, y, 1)
+        np.testing.assert_allclose(y, ref, rtol=1e-4)
+
+    def test_lda_padding(self):
+        m, n, lda = 4, 3, 8
+        a = randf(m * lda)
+        x, y = randf(n), np.zeros(m, np.float32)
+        ref = a.reshape(m, lda)[:, :n] @ x
+        sgemv(False, m, n, 1.0, a, lda, x, 1, 0.0, y, 1)
+        np.testing.assert_allclose(y, ref, rtol=1e-4)
+
+    def test_bad_lda(self):
+        with pytest.raises(ValueError):
+            sgemv(False, 4, 8, 1.0, randf(32), 4, randf(8), 1, 0.0,
+                  randf(4), 1)
+
+
+class TestLevel3:
+    def test_cherk_lower_matches_reference(self):
+        n, k = 40, 12
+        a = randc(n, k)
+        c = randc(n, n)
+        c = (c + c.conj().T) / 2          # start Hermitian
+        ref = 1.5 * (a @ a.conj().T) + 0.25 * c
+        got = c.copy().reshape(-1)
+        cherk(False, n, k, 1.5, a.reshape(-1), 0.25, got)
+        got = got.reshape(n, n)
+        il = np.tril_indices(n)
+        np.testing.assert_allclose(got[il], ref[il], rtol=1e-3, atol=1e-4)
+
+    def test_cherk_upper_leaves_lower_untouched(self):
+        n, k = 10, 4
+        a, c = randc(n, k), randc(n, n)
+        before = c.copy()
+        buf = c.reshape(-1)
+        cherk(True, n, k, 1.0, a.reshape(-1), 0.0, buf)
+        after = buf.reshape(n, n)
+        il = np.tril_indices(n, -1)
+        np.testing.assert_array_equal(after[il], before[il])
+
+    def test_ctrsm_lower_solves(self):
+        n, m = 32, 5
+        lmat = np.tril(randc(n, n)) + 4 * np.eye(n)
+        b = randc(n, m)
+        x = b.copy().reshape(-1)
+        ctrsm_left_lower(n, m, 1.0, lmat.reshape(-1), x)
+        np.testing.assert_allclose(lmat @ x.reshape(n, m), b, rtol=1e-3,
+                                   atol=1e-4)
+
+    def test_ctrsm_upper_solves(self):
+        n, m = 32, 5
+        umat = np.triu(randc(n, n)) + 4 * np.eye(n)
+        b = randc(n, m)
+        x = b.copy().reshape(-1)
+        ctrsm_left_upper(n, m, 1.0, umat.reshape(-1), x)
+        np.testing.assert_allclose(umat @ x.reshape(n, m), b, rtol=1e-3,
+                                   atol=1e-4)
+
+    def test_ctrsm_alpha(self):
+        n, m = 8, 2
+        lmat = np.tril(randc(n, n)) + 4 * np.eye(n)
+        b = randc(n, m)
+        x = b.copy().reshape(-1)
+        ctrsm_left_lower(n, m, 2.0, lmat.reshape(-1), x)
+        np.testing.assert_allclose(lmat @ x.reshape(n, m), 2.0 * b,
+                                   rtol=1e-3, atol=1e-4)
+
+    def test_cholesky_roundtrip(self):
+        n = 48
+        a = randc(n, n)
+        spd = a @ a.conj().T + n * np.eye(n)
+        buf = spd.astype(np.complex64).reshape(-1).copy()
+        cpotrf_lower(n, buf)
+        lmat = buf.reshape(n, n)
+        np.testing.assert_allclose(lmat @ lmat.conj().T, spd, rtol=1e-2,
+                                   atol=1e-2)
+
+    def test_cholesky_then_trsm_solves_system(self):
+        """The STAP pipeline: factor R, then two triangular solves."""
+        n, m = 24, 3
+        a = randc(n, n)
+        spd = (a @ a.conj().T + n * np.eye(n)).astype(np.complex64)
+        b = randc(n, m)
+        buf = spd.reshape(-1).copy()
+        cpotrf_lower(n, buf)
+        x = b.copy().reshape(-1)
+        ctrsm_left_lower(n, m, 1.0, buf, x)
+        lmat = buf.reshape(n, n)
+        uh = np.conj(lmat.T).copy().reshape(-1)
+        ctrsm_left_upper(n, m, 1.0, uh, x)
+        np.testing.assert_allclose(spd @ x.reshape(n, m), b, rtol=5e-2,
+                                   atol=5e-2)

@@ -1,0 +1,174 @@
+"""FFT kernel and FFTW-style planner, verified against numpy.fft."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mkl import (FFTW_BACKWARD, FFTW_FORWARD, FftwError, IoDim,
+                       execute, fft_flops, fft_radix2, plan_dft_1d,
+                       plan_guru_dft)
+
+RNG = np.random.default_rng(3)
+
+
+def randc(*shape):
+    return (RNG.standard_normal(shape)
+            + 1j * RNG.standard_normal(shape)).astype(np.complex64)
+
+
+class TestKernel:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256, 1024])
+    def test_matches_numpy(self, n):
+        x = randc(n)
+        np.testing.assert_allclose(fft_radix2(x[None, :])[0], np.fft.fft(x),
+                                   rtol=1e-3, atol=1e-3)
+
+    def test_batched(self):
+        x = randc(16, 128)
+        np.testing.assert_allclose(fft_radix2(x), np.fft.fft(x, axis=-1),
+                                   rtol=1e-3, atol=1e-3)
+
+    def test_backward_is_unscaled_inverse(self):
+        x = randc(64)
+        back = fft_radix2(fft_radix2(x[None])[0][None], FFTW_BACKWARD)[0]
+        np.testing.assert_allclose(back / 64, x, rtol=1e-3, atol=1e-3)
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(FftwError):
+            fft_radix2(randc(12)[None])
+
+    def test_linearity(self):
+        a, b = randc(32), randc(32)
+        lhs = fft_radix2((2 * a + 3 * b)[None])[0]
+        rhs = 2 * fft_radix2(a[None])[0] + 3 * fft_radix2(b[None])[0]
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-3, atol=1e-3)
+
+    def test_parseval(self):
+        x = randc(256)
+        fx = fft_radix2(x[None])[0]
+        assert np.sum(np.abs(fx) ** 2) == pytest.approx(
+            256 * np.sum(np.abs(x) ** 2), rel=1e-3)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=8))
+    def test_impulse_gives_flat_spectrum(self, log_n):
+        n = 1 << log_n
+        x = np.zeros(n, dtype=np.complex64)
+        x[0] = 1.0
+        np.testing.assert_allclose(fft_radix2(x[None])[0],
+                                   np.ones(n), rtol=1e-4, atol=1e-4)
+
+    def test_flops_formula(self):
+        assert fft_flops(1024) == pytest.approx(5 * 1024 * 10)
+        assert fft_flops(8, batch=4) == pytest.approx(4 * 5 * 8 * 3)
+        assert fft_flops(1) == 0.0
+
+
+class TestPlanner:
+    def test_simple_plan(self):
+        src, dst = randc(256), np.zeros(256, np.complex64)
+        plan = plan_dft_1d(256, src, dst)
+        execute(plan)
+        np.testing.assert_allclose(dst, np.fft.fft(src), rtol=1e-3,
+                                   atol=1e-3)
+
+    def test_batched_plan(self):
+        batch, n = 8, 64
+        src = randc(batch * n)
+        dst = np.zeros(batch * n, np.complex64)
+        plan = plan_guru_dft(1, [IoDim(n, 1, 1)], 1,
+                             [IoDim(batch, n, n)], src, dst)
+        execute(plan)
+        ref = np.fft.fft(src.reshape(batch, n), axis=-1).reshape(-1)
+        np.testing.assert_allclose(dst, ref, rtol=1e-3, atol=1e-3)
+        assert plan.batch == batch
+        assert plan.fft_length == n
+
+    def test_strided_transform(self):
+        """Column FFT of a row-major matrix: istride = row length."""
+        rows, cols = 32, 16
+        src = randc(rows * cols)
+        dst = np.zeros(rows * cols, np.complex64)
+        plan = plan_guru_dft(1, [IoDim(rows, cols, cols)], 1,
+                             [IoDim(cols, 1, 1)], src, dst)
+        execute(plan)
+        ref = np.fft.fft(src.reshape(rows, cols), axis=0).reshape(-1)
+        np.testing.assert_allclose(dst, ref, rtol=1e-3, atol=1e-3)
+
+    def test_rank0_is_strided_copy(self):
+        """The STAP corner-turn: rank-0 guru plan = layout change."""
+        rows, cols = 8, 4
+        src = randc(rows * cols)
+        dst = np.zeros(rows * cols, np.complex64)
+        # transpose via two howmany dims with swapped strides
+        plan = plan_guru_dft(0, None, 2,
+                             [IoDim(rows, cols, 1), IoDim(cols, 1, rows)],
+                             src, dst)
+        execute(plan)
+        ref = src.reshape(rows, cols).T.reshape(-1)
+        np.testing.assert_allclose(dst, ref)
+        assert plan.is_copy
+        assert plan.flops == 0.0
+
+    def test_bad_rank(self):
+        with pytest.raises(FftwError):
+            plan_guru_dft(2, [IoDim(4, 1, 1), IoDim(4, 1, 1)], 0, [],
+                          randc(16), randc(16))
+
+    def test_rank_dims_mismatch(self):
+        with pytest.raises(FftwError):
+            plan_guru_dft(1, [], 0, [], randc(4), randc(4))
+
+    def test_bad_sign(self):
+        with pytest.raises(FftwError):
+            plan_dft_1d(4, randc(4), randc(4), sign=3)
+
+    def test_real_arrays_rejected(self):
+        with pytest.raises(FftwError):
+            plan_dft_1d(4, np.zeros(4, np.float32),
+                        np.zeros(4, np.complex64))
+
+    def test_iodim_positive(self):
+        with pytest.raises(FftwError):
+            IoDim(0, 1, 1)
+
+    def test_backward_plan(self):
+        src = randc(128)
+        mid = np.zeros(128, np.complex64)
+        out = np.zeros(128, np.complex64)
+        execute(plan_dft_1d(128, src, mid, FFTW_FORWARD))
+        execute(plan_dft_1d(128, mid, out, FFTW_BACKWARD))
+        np.testing.assert_allclose(out / 128, src, rtol=1e-3, atol=1e-3)
+
+
+class TestBluestein:
+    """Arbitrary-length DFT extension (chirp-z)."""
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 12, 100, 257, 1000])
+    def test_matches_numpy(self, n):
+        from repro.mkl import fft_bluestein
+        x = randc(n).astype(np.complex128)
+        np.testing.assert_allclose(fft_bluestein(x[None])[0],
+                                   np.fft.fft(x), rtol=1e-6, atol=1e-7)
+
+    def test_pow2_falls_back_to_radix2(self):
+        from repro.mkl import fft_bluestein
+        x = randc(64)
+        np.testing.assert_allclose(fft_bluestein(x[None])[0],
+                                   np.fft.fft(x), rtol=1e-3, atol=1e-3)
+
+    def test_batched(self):
+        from repro.mkl import fft_bluestein
+        x = randc(4, 21).astype(np.complex128)
+        np.testing.assert_allclose(fft_bluestein(x),
+                                   np.fft.fft(x, axis=-1), rtol=1e-6,
+                                   atol=1e-7)
+
+    def test_roundtrip(self):
+        from repro.mkl import fft_bluestein
+        from repro.mkl.fftw import FFTW_BACKWARD
+        x = randc(30).astype(np.complex128)
+        fx = fft_bluestein(x[None])[0]
+        back = fft_bluestein(fx[None], FFTW_BACKWARD)[0] / 30
+        np.testing.assert_allclose(back, x, rtol=1e-6, atol=1e-7)

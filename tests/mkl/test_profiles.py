@@ -1,0 +1,89 @@
+"""Operation profiles: flop/byte accounting used by all platform models."""
+
+import pytest
+
+from repro.mkl import (OpProfile, axpy_profile, cdotc_profile,
+                       cherk_profile, ctrsm_profile, dot_profile,
+                       fft2d_profile, fft_profile, gemv_profile,
+                       random_geometric_graph, reshp_profile,
+                       resmp_profile, spmv_profile)
+
+
+def test_axpy_counts():
+    p = axpy_profile(1000)
+    assert p.flops == 2000
+    assert p.bytes_read == 8000
+    assert p.bytes_written == 4000
+    assert p.pattern == "stream"
+
+
+def test_dot_writes_nothing():
+    p = dot_profile(100)
+    assert p.bytes_written == 0
+    assert p.flops == 200
+
+
+def test_cdotc_is_complex_rate():
+    p = cdotc_profile(10)
+    assert p.flops == 80
+    assert p.bytes_read == 160
+
+
+def test_gemv_matrix_dominates():
+    p = gemv_profile(1000, 1000)
+    assert p.bytes_read > 1000 * 1000 * 4
+    assert p.flops == 2e6
+
+
+def test_spmv_gather_pattern():
+    g = random_geometric_graph(300, seed=5)
+    p = spmv_profile(g)
+    assert p.pattern == "gather"
+    assert p.flops == 2.0 * g.nnz
+    assert p.bytes_read > g.nnz * 8
+
+
+def test_fft_profile():
+    p = fft_profile(1024, batch=4)
+    assert p.flops == pytest.approx(4 * 5 * 1024 * 10)
+    assert p.bytes_read == 4 * 1024 * 8
+    assert p.bytes_read == p.bytes_written
+
+
+def test_fft2d_two_passes():
+    p = fft2d_profile(256, 256)
+    assert p.passes == 2
+    assert p.bytes_read == 2 * 256 * 256 * 8
+
+
+def test_reshp_zero_flops():
+    p = reshp_profile(512, 512)
+    assert p.flops == 0.0
+    assert p.pattern == "transpose"
+    assert p.arithmetic_intensity == 0.0
+
+
+def test_resmp_scales_with_blocks():
+    one = resmp_profile(256, 256, blocks=1)
+    many = resmp_profile(256, 256, blocks=8)
+    assert many.flops == pytest.approx(8 * one.flops)
+
+
+def test_level3_is_compute_bound():
+    """cherk/ctrsm must have much higher arithmetic intensity than the
+    memory-bounded ops — that's why the paper leaves them on the host."""
+    memory_bound = max(axpy_profile(1 << 20).arithmetic_intensity,
+                       gemv_profile(4096, 4096).arithmetic_intensity,
+                       fft_profile(8192).arithmetic_intensity)
+    assert cherk_profile(512, 128).arithmetic_intensity > 4 * memory_bound
+    assert ctrsm_profile(512, 128).arithmetic_intensity > 4 * memory_bound
+
+
+def test_bad_pattern_rejected():
+    with pytest.raises(ValueError):
+        OpProfile("X", 1.0, 1, 1, pattern="zigzag")
+
+
+def test_negative_quantities_rejected():
+    with pytest.raises(ValueError):
+        OpProfile("X", -1.0, 1, 1)

@@ -1,0 +1,124 @@
+"""CSR sparse structure, SpMV, and the RGG generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mkl import (CsrMatrix, SparseError, random_geometric_graph,
+                       scsrgemv, spmv_flops)
+
+
+def small_csr():
+    # [[1, 0, 2], [0, 0, 0], [3, 4, 0]]
+    return CsrMatrix(
+        indptr=np.array([0, 2, 2, 4]),
+        indices=np.array([0, 2, 0, 1]),
+        data=np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32),
+        shape=(3, 3),
+    )
+
+
+class TestCsr:
+    def test_to_dense(self):
+        dense = small_csr().to_dense()
+        np.testing.assert_array_equal(
+            dense, [[1, 0, 2], [0, 0, 0], [3, 4, 0]])
+
+    def test_nnz(self):
+        assert small_csr().nnz == 4
+        assert small_csr().avg_row_nnz == pytest.approx(4 / 3)
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(SparseError):
+            CsrMatrix(np.array([0, 1]), np.array([0]),
+                      np.array([1.0], dtype=np.float32), (3, 3))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(SparseError):
+            CsrMatrix(np.array([0, 2, 1, 1]), np.array([0]),
+                      np.array([1.0], dtype=np.float32), (3, 3))
+
+    def test_column_out_of_range(self):
+        with pytest.raises(SparseError):
+            CsrMatrix(np.array([0, 1, 1, 1]), np.array([5]),
+                      np.array([1.0], dtype=np.float32), (3, 3))
+
+    def test_indptr_end_mismatch(self):
+        with pytest.raises(SparseError):
+            CsrMatrix(np.array([0, 1, 1, 3]), np.array([0]),
+                      np.array([1.0], dtype=np.float32), (3, 3))
+
+
+class TestSpmv:
+    def test_matches_dense(self):
+        a = small_csr()
+        x = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        y = np.zeros(3, dtype=np.float32)
+        scsrgemv(a, x, y)
+        np.testing.assert_allclose(y, a.to_dense() @ x, rtol=1e-6)
+
+    def test_empty_rows_give_zero(self):
+        a = small_csr()
+        x = np.ones(3, dtype=np.float32)
+        y = np.full(3, 99.0, dtype=np.float32)
+        scsrgemv(a, x, y)
+        assert y[1] == 0.0
+
+    def test_small_vectors_rejected(self):
+        a = small_csr()
+        with pytest.raises(SparseError):
+            scsrgemv(a, np.ones(2, np.float32), np.zeros(3, np.float32))
+
+    def test_flops(self):
+        assert spmv_flops(small_csr()) == 8.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=200))
+    def test_random_csr_matches_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 30))
+        cols = int(rng.integers(1, 30))
+        dense = rng.random((rows, cols)).astype(np.float32)
+        dense[dense < 0.7] = 0
+        indptr = np.zeros(rows + 1, dtype=np.int64)
+        indices, data = [], []
+        for r in range(rows):
+            nz = np.nonzero(dense[r])[0]
+            indices.extend(nz)
+            data.extend(dense[r, nz])
+            indptr[r + 1] = len(indices)
+        a = CsrMatrix(indptr, np.array(indices, dtype=np.int64),
+                      np.array(data, dtype=np.float32), (rows, cols))
+        x = rng.random(cols).astype(np.float32)
+        y = np.zeros(rows, dtype=np.float32)
+        scsrgemv(a, x, y)
+        np.testing.assert_allclose(y, dense @ x, rtol=1e-4, atol=1e-5)
+
+
+class TestRgg:
+    def test_structure(self):
+        g = random_geometric_graph(500, seed=1)
+        assert g.shape == (500, 500)
+        assert g.nnz > 0
+        # rgg matrices average ~15 neighbours in this regime
+        assert 5 < g.avg_row_nnz < 40
+
+    def test_symmetric_pattern(self):
+        g = random_geometric_graph(300, seed=2)
+        dense = g.to_dense()
+        np.testing.assert_array_equal(dense != 0, dense.T != 0)
+
+    def test_no_self_loops(self):
+        g = random_geometric_graph(200, seed=3)
+        assert all(g.to_dense()[i, i] == 0 for i in range(200))
+
+    def test_deterministic_by_seed(self):
+        g1 = random_geometric_graph(100, seed=9)
+        g2 = random_geometric_graph(100, seed=9)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+
+    def test_radius_controls_density(self):
+        sparse = random_geometric_graph(400, radius=0.02, seed=4)
+        dense = random_geometric_graph(400, radius=0.15, seed=4)
+        assert dense.nnz > sparse.nnz
