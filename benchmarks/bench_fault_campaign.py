@@ -1,0 +1,154 @@
+"""Fault-injection campaign: availability, detection, resilience cost.
+
+Sweeps fault rates through the hardened runtime and reports, per rate:
+the fraction of executes served by the accelerated path (availability),
+the ECC/checksum detection rate, and the share of total time spent on
+resilience (watchdog + retries + host fallback). Also checks the two
+end-to-end acceptance properties: ECC-corrected runs are bit-exact
+against fault-free runs, and STAP still completes (on the host) with a
+dead accelerator tile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import AxpyParams
+from repro.apps.stap import PRESETS, run_stap_mealib
+from repro.core import MealibSystem, ParamStore
+from repro.faults import FaultInjector
+
+#: Fault intensity knob: descriptor corruption at x, CU hangs at x/4,
+#: DRAM bit errors at x * 1e-4 per bit.
+INTENSITIES = (0.0, 0.1, 0.3, 0.6)
+EXECUTES = 25
+
+
+def make_system(faults=None):
+    return MealibSystem(stack_bytes=256 << 20, faults=faults)
+
+
+def make_axpy_plan(system, n=4096):
+    xb, x = system.space.alloc_array((n,), np.float32)
+    yb, y = system.space.alloc_array((n,), np.float32)
+    x[:] = 1.0
+    y[:] = 1.0
+    store = ParamStore()
+    store.add("a.para", AxpyParams(n=n, alpha=2.0, x_pa=xb.pa,
+                                   y_pa=yb.pa).pack())
+    plan = system.runtime.acc_plan("PASS { COMP AXPY a.para }", store,
+                                   in_size=n * 8, out_size=n * 4)
+    return plan, y
+
+
+def campaign_point(intensity, seed=4):
+    faults = None
+    if intensity > 0:
+        faults = FaultInjector(seed=seed,
+                               descriptor_corruption_rate=intensity,
+                               hang_rate=intensity / 4,
+                               dram_bit_error_rate=intensity * 1e-4)
+    system = make_system(faults)
+    plan, _ = make_axpy_plan(system)
+    for _ in range(EXECUTES):
+        system.runtime.acc_execute(plan, functional=False)
+    counters = system.runtime.counters
+    fault, retry, fallback = system.resilience_breakdown()
+    resilience = fault.plus(retry).plus(fallback)
+    total = system.total()
+    return {
+        "availability": counters.availability,
+        "retries": counters.retries,
+        "fallbacks": counters.fallbacks,
+        "ecc_corrections": counters.ecc_corrections,
+        "detection": (faults.stats.detection_rate
+                      if faults is not None else 1.0),
+        "overhead": resilience.time / total.time,
+    }
+
+
+def test_campaign_rate_sweep(benchmark):
+    def sweep():
+        return {x: campaign_point(x) for x in INTENSITIES}
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nFault campaign (descriptor corruption x, hangs x/4, "
+          "DRAM BER x*1e-4):")
+    print(f"{'x':>5} {'avail':>6} {'detect':>7} {'overhead':>9} "
+          f"{'retries':>8} {'fallbacks':>10} {'ecc-corr':>9}")
+    for x, p in points.items():
+        print(f"{x:>5} {p['availability']:>6.2f} {p['detection']:>7.2f} "
+              f"{100 * p['overhead']:>8.1f}% {p['retries']:>8} "
+              f"{p['fallbacks']:>10} {p['ecc_corrections']:>9}")
+    clean = points[0.0]
+    assert clean["availability"] == 1.0
+    assert clean["overhead"] == 0.0
+    overheads = [points[x]["overhead"] for x in INTENSITIES]
+    assert overheads == sorted(overheads)       # cost grows with rate
+    assert points[0.6]["overhead"] > 0
+    assert points[0.6]["retries"] > points[0.1]["retries"]
+    for x in INTENSITIES[1:]:
+        assert points[x]["detection"] >= 0.99   # SECDED + CRC catch ~all
+
+
+def test_ecc_corrected_runs_are_bit_exact(benchmark):
+    def pair():
+        plain = make_system()
+        plan_p, y_p = make_axpy_plan(plain)
+        protected = make_system(
+            FaultInjector(seed=9, dram_bit_error_rate=2e-4))
+        plan_f, y_f = make_axpy_plan(protected)
+        for _ in range(30):
+            plain.runtime.acc_execute(plan_p)
+            protected.runtime.acc_execute(plan_f)
+        return (y_p.tobytes(), y_f.tobytes(),
+                protected.runtime.counters.ecc_corrections)
+
+    y_plain, y_faulty, corrections = benchmark.pedantic(
+        pair, rounds=1, iterations=1)
+    print(f"\nECC campaign: {corrections} single-bit corrections, "
+          f"results bit-exact: {y_plain == y_faulty}")
+    assert corrections > 0                      # faults really happened
+    assert y_plain == y_faulty                  # and were transparent
+
+
+def test_stap_survives_dead_tile(benchmark):
+    cfg = PRESETS["small"]
+
+    def run_pair():
+        clean = run_stap_mealib(cfg, system=make_system())
+        crippled_sys = make_system(FaultInjector(seed=0))
+        crippled_sys.layer.mark_tile_failed(5)
+        crippled = run_stap_mealib(cfg, system=crippled_sys)
+        return clean, crippled, crippled_sys
+
+    clean, crippled, system = benchmark.pedantic(run_pair, rounds=1,
+                                                 iterations=1)
+    fallback = system.ledger.total("fallback")
+    print(f"\nSTAP with dead tile: completed in {crippled.result.time:.4f}s "
+          f"(clean {clean.result.time:.4f}s), host fallback "
+          f"{1e3 * fallback.time:.2f}ms over "
+          f"{system.runtime.counters.fallbacks} descriptors")
+    assert fallback.time > 0
+    assert system.runtime.counters.availability == 0.0
+    assert crippled.result.time > clean.result.time     # fallback is slower
+    for name, ref in clean.buffers.items():             # but still correct
+        np.testing.assert_allclose(crippled.buffers[name], ref,
+                                   rtol=1e-5, atol=1e-6,
+                                   err_msg=f"buffer {name} diverged")
+
+
+def test_disabled_injector_matches_baseline(benchmark):
+    def pair():
+        plain = make_system()
+        hardened = make_system(FaultInjector(seed=0, ecc_enabled=False))
+        r_plain = plain.runtime.acc_execute(
+            make_axpy_plan(plain)[0], functional=False)
+        r_hard = hardened.runtime.acc_execute(
+            make_axpy_plan(hardened)[0], functional=False)
+        return r_plain, r_hard
+
+    r_plain, r_hard = benchmark.pedantic(pair, rounds=1, iterations=1)
+    print(f"\nFault-free parity: baseline {r_plain.time:.3e}s, "
+          f"zero-rate injector {r_hard.time:.3e}s")
+    assert r_hard.time == r_plain.time
+    assert r_hard.energy == pytest.approx(r_plain.energy, rel=0, abs=0)

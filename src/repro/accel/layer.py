@@ -55,6 +55,21 @@ class AcceleratorLayer:
             core = accel_type(tiles=tiles, freq_hz=freq_hz)
             self.accelerators[core.name] = core
 
+    # -- tile health ----------------------------------------------------------
+
+    def mark_tile_failed(self, vault: int) -> None:
+        """Hard-fail the tile bonded to ``vault``."""
+        self.tiles[vault].mark_failed()
+
+    def failed_tiles(self) -> List[int]:
+        """Vault indices whose tiles are marked failed, ascending."""
+        return sorted(v for v, t in self.tiles.items() if t.failed)
+
+    @property
+    def healthy(self) -> bool:
+        """True when every tile can still be configured."""
+        return not any(t.failed for t in self.tiles.values())
+
     def accelerator(self, name: str) -> AcceleratorCore:
         try:
             return self.accelerators[name]

@@ -16,6 +16,11 @@ PORT_DRAM = "dram"
 PORT_CHAIN = "chain"
 
 
+class TileFailedError(Exception):
+    """A required accelerator tile is marked failed (dead logic-layer
+    die area); the descriptor cannot run on the stack."""
+
+
 @dataclass
 class SwitchConfig:
     """Input/output wiring of the active PE in a tile."""
@@ -38,19 +43,32 @@ class Tile:
         local_memory_kb: shared LM capacity of the tile.
         active_pe: name of the accelerator currently enabled (or None).
         switch: current port wiring.
+        failed: the tile's logic is dead; it can no longer be
+            configured (vault interleaving makes the whole stack's
+            accelerated path unusable until the part is replaced).
     """
 
     vault: int
     local_memory_kb: int = 64
     active_pe: Optional[str] = None
     switch: SwitchConfig = field(default_factory=SwitchConfig)
+    failed: bool = False
 
     def configure(self, pe_name: str, input_port: str = PORT_DRAM,
                   output_port: str = PORT_DRAM) -> None:
         """Program the tile for one pass (done by the decode unit)."""
+        if self.failed:
+            raise TileFailedError(
+                f"tile on vault {self.vault} is marked failed")
         self.active_pe = pe_name
         self.switch = SwitchConfig(input_port=input_port,
                                    output_port=output_port)
+
+    def mark_failed(self) -> None:
+        """Hard-fail the tile (injected or detected by self-test)."""
+        self.failed = True
+        self.active_pe = None
+        self.switch = SwitchConfig()
 
     def release(self) -> None:
         """Return the tile to idle at the end of a pass."""

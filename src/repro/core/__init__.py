@@ -3,25 +3,31 @@
 from repro.core.config_unit import (CompInstance, ConfigurationUnit,
                                     DescriptorExecution, PassPlan)
 from repro.core.descriptor import (CMD_IDLE, CMD_START, DescriptorError,
+                                   DescriptorIntegrityError,
                                    EncodedDescriptor, Instruction,
                                    KIND_ACCEL, KIND_ENDLOOP, KIND_ENDPASS,
                                    KIND_LOOP, OPCODES, decode_control,
-                                   decode_instructions, encode,
-                                   set_command)
+                                   decode_instructions,
+                                   descriptor_checksum, encode,
+                                   set_command, verify_integrity)
 from repro.core.invocation import InvocationModel
 from repro.core.runtime import (AccPlan, Ledger, LedgerEntry,
-                                MealibRuntime, RuntimeError_)
+                                MealibRuntime, MealibRuntimeError,
+                                ResilienceCounters, ResiliencePolicy,
+                                RuntimeError_)
 from repro.core.system import MealibSystem
 from repro.core.tdl import (Comp, Loop, ParamStore, Pass, TdlError,
                             TdlProgram, format_tdl, parse_tdl)
 
 __all__ = [
     "CompInstance", "ConfigurationUnit", "DescriptorExecution", "PassPlan",
-    "CMD_IDLE", "CMD_START", "DescriptorError", "EncodedDescriptor",
-    "Instruction", "KIND_ACCEL", "KIND_ENDLOOP", "KIND_ENDPASS",
-    "KIND_LOOP", "OPCODES", "decode_control", "decode_instructions",
-    "encode", "set_command", "InvocationModel", "AccPlan", "Ledger",
-    "LedgerEntry", "MealibRuntime", "RuntimeError_", "MealibSystem",
-    "Comp", "Loop", "ParamStore", "Pass", "TdlError", "TdlProgram",
-    "format_tdl", "parse_tdl",
+    "CMD_IDLE", "CMD_START", "DescriptorError", "DescriptorIntegrityError",
+    "EncodedDescriptor", "Instruction", "KIND_ACCEL", "KIND_ENDLOOP",
+    "KIND_ENDPASS", "KIND_LOOP", "OPCODES", "decode_control",
+    "decode_instructions", "descriptor_checksum", "encode", "set_command",
+    "verify_integrity", "InvocationModel", "AccPlan", "Ledger",
+    "LedgerEntry", "MealibRuntime", "MealibRuntimeError",
+    "ResilienceCounters", "ResiliencePolicy", "RuntimeError_",
+    "MealibSystem", "Comp", "Loop", "ParamStore", "Pass", "TdlError",
+    "TdlProgram", "format_tdl", "parse_tdl",
 ]

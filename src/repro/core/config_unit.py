@@ -26,12 +26,13 @@ from repro.accel.base import (AcceleratorCore, StrideTable,
 from repro.accel.layer import AcceleratorLayer
 from repro.accel.noc import MeshNoc
 from repro.accel.synthesis import noc_power
-from repro.accel.tile import PORT_CHAIN, PORT_DRAM
+from repro.accel.tile import PORT_CHAIN, PORT_DRAM, TileFailedError
 from repro.core.descriptor import (CMD_START, CR_BYTES, INSTR_BYTES,
                                    DescriptorError, Instruction,
                                    KIND_ACCEL, KIND_ENDLOOP, KIND_ENDPASS,
                                    KIND_LOOP, decode_control,
-                                   decode_instructions)
+                                   decode_instructions, verify_integrity)
+from repro.faults.injector import CuHangError, FaultInjector
 from repro.memmgmt.addrspace import UnifiedAddressSpace
 from repro.memsys.device import MemoryDevice
 from repro.memsys.trace import StreamSpec, simulate_streams
@@ -187,23 +188,49 @@ class ConfigurationUnit:
 
     def __init__(self, layer: AcceleratorLayer,
                  space: UnifiedAddressSpace, device: MemoryDevice,
-                 noc: Optional[MeshNoc] = None):
+                 noc: Optional[MeshNoc] = None,
+                 faults: Optional[FaultInjector] = None):
         self.layer = layer
         self.space = space
         self.device = device
         self.noc = noc if noc is not None else layer.noc
+        self.faults = faults
 
     # -- decode ---------------------------------------------------------------
 
-    def _read_comp(self, instr: Instruction) -> CompInstance:
+    def _read_comp(self, instr: Instruction,
+                   image: Optional[bytes] = None,
+                   base_pa: int = 0) -> CompInstance:
         core = self.layer.accelerator(instr.accel_name)
-        blob = self.space.pa_read(instr.param_addr, instr.param_size)
+        if image is None:
+            blob = self.space.pa_read(instr.param_addr, instr.param_size)
+        else:
+            # params come out of an already-fetched descriptor image
+            off = instr.param_addr - base_pa
+            if off < 0 or off + instr.param_size > len(image):
+                raise DescriptorError(
+                    f"parameter address {instr.param_addr:#x} outside "
+                    "the descriptor image")
+            blob = image[off:off + instr.param_size]
         params = core.unpack_params(blob)
         strides = None
         base_size = core.params_type.SIZE
         if instr.param_size > base_size:
             strides = unpack_strides(core.params_type, blob[base_size:])
         return CompInstance(core=core, params=params, strides=strides)
+
+    def fetch(self, desc_pa: int, desc_bytes: int) -> bytes:
+        """Fetch Unit: pull the full descriptor image into IMEM.
+
+        The fetched image passes through the fault injector (command-
+        path upsets) and is then integrity-checked against its sealed
+        checksum before any of it is dispatched.
+        """
+        raw = self.space.pa_read(desc_pa, desc_bytes)
+        if self.faults is not None:
+            raw = self.faults.corrupt_descriptor(raw)
+        verify_integrity(raw)
+        return raw
 
     def decode(self, desc_pa: int) -> List[PassPlan]:
         """Parse a descriptor from DRAM into pass plans.
@@ -218,6 +245,26 @@ class ConfigurationUnit:
         raw = self.space.pa_read(desc_pa,
                                  CR_BYTES + n_instr * INSTR_BYTES)
         instructions = decode_instructions(raw, n_instr)
+        return self._build_plans(instructions)
+
+    def plans_from_image(self, image: bytes, base_pa: int,
+                         require_start: bool = False) -> List[PassPlan]:
+        """Decode a complete descriptor image (integrity-checked).
+
+        Used on the fetched IMEM copy, and by the runtime's host-
+        fallback path on its golden (host-side) descriptor bytes, where
+        the doorbell state is irrelevant (``require_start=False``).
+        """
+        verify_integrity(image)
+        command, n_instr = decode_control(image)
+        if require_start and command != CMD_START:
+            raise DescriptorError("descriptor command region is not START")
+        instructions = decode_instructions(image, n_instr)
+        return self._build_plans(instructions, image=image, base_pa=base_pa)
+
+    def _build_plans(self, instructions: List[Instruction],
+                     image: Optional[bytes] = None,
+                     base_pa: int = 0) -> List[PassPlan]:
         plans: List[PassPlan] = []
         loop_count = 1
         in_loop = False
@@ -231,7 +278,7 @@ class ConfigurationUnit:
                 loop_count = instr.param_size
                 loop_passes = []
             elif instr.kind == KIND_ACCEL:
-                current.append(self._read_comp(instr))
+                current.append(self._read_comp(instr, image, base_pa))
             elif instr.kind == KIND_ENDPASS:
                 if not current:
                     raise DescriptorError("empty PASS in descriptor")
@@ -268,7 +315,11 @@ class ConfigurationUnit:
         for tile in self.layer.tiles.values():
             tile.release()
 
-    def _run_functional(self, plan: PassPlan) -> None:
+    def run_functional(self, plan: PassPlan) -> None:
+        """Numerically execute one pass plan against physical memory.
+
+        Also reused by the runtime's host-fallback path: the host
+        performs the same arithmetic the accelerators would have."""
         for i in range(plan.count):
             for comp in plan.comps:
                 params = shift_params(comp.params, comp.strides, i)
@@ -319,8 +370,32 @@ class ConfigurationUnit:
 
     def run_descriptor(self, desc_pa: int, desc_bytes: int,
                        functional: bool = True) -> DescriptorExecution:
-        """Execute a descriptor: functional effects + time/energy."""
-        plans = self.decode(desc_pa)
+        """Execute a descriptor: functional effects + time/energy.
+
+        Raises :class:`TileFailedError` when the accelerator layer has a
+        dead tile (vault interleaving spreads every operand over every
+        vault, so one dead tile takes down the accelerated path),
+        :class:`CuHangError` when an injected hang eats the doorbell,
+        and :class:`DescriptorError`/:class:`DescriptorIntegrityError`
+        when the fetched descriptor image fails validation.
+        """
+        if not self.layer.healthy:
+            raise TileFailedError(
+                f"tiles on vaults {self.layer.failed_tiles()} are failed")
+        if self.faults is not None:
+            draw = self.faults.sample_tile_failure()
+            if draw is not None:
+                healthy = sorted(v for v, t in self.layer.tiles.items()
+                                 if not t.failed)
+                vault = healthy[draw % len(healthy)]
+                self.layer.mark_tile_failed(vault)
+                raise TileFailedError(
+                    f"tile on vault {vault} failed during execution")
+            if self.faults.sample_hang():
+                raise CuHangError(
+                    "configuration unit did not acknowledge the doorbell")
+        image = self.fetch(desc_pa, desc_bytes)
+        plans = self.plans_from_image(image, desc_pa, require_start=True)
         fetch_time = FU_FETCH_LATENCY + desc_bytes / FU_FETCH_BW
         total = ExecResult(time=fetch_time, energy=fetch_time * CU_POWER)
         by_accel: Dict[str, ExecResult] = {}
@@ -328,7 +403,7 @@ class ConfigurationUnit:
         for plan in plans:
             self._configure_tiles(plan)
             if functional:
-                self._run_functional(plan)
+                self.run_functional(plan)
             pass_result, _ = self._model_pass(plan)
             total = total.plus(pass_result)
             # attribute the pass to its accelerators by stream share

@@ -4,7 +4,9 @@ A descriptor is a physically contiguous region of the command space with
 three parts:
 
 * Control Region — magic, command word (the hardware polls for START),
-  instruction count;
+  instruction count, and an integrity checksum over the rest of the
+  descriptor (the command word is excluded so the doorbell can toggle
+  without re-sealing);
 * Instruction Region — fixed-width instructions: accelerator
   invocations (opcode + parameter size/address) and control
   instructions (LOOP / ENDLOOP / ENDPASS);
@@ -18,6 +20,7 @@ the configuration unit's fetch/decode units do when START is observed.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -35,11 +38,15 @@ KIND_LOOP = 1
 KIND_ENDLOOP = 2
 KIND_ENDPASS = 3
 
-_CR = struct.Struct("<IIII")          # magic, command, n_instr, reserved
+_CR = struct.Struct("<IIII")          # magic, command, n_instr, checksum
 _INSTR = struct.Struct("<BBHIq")      # opcode, kind, pad, size, addr
 
 CR_BYTES = _CR.size
 INSTR_BYTES = _INSTR.size
+
+#: Byte offsets of the CR's mutable command word and its checksum word.
+COMMAND_OFFSET = 4
+CHECKSUM_OFFSET = 12
 
 #: Opcode name <-> number mapping (matches the accelerator classes).
 OPCODES = {"AXPY": 1, "DOT": 2, "GEMV": 3, "SPMV": 4, "RESMP": 5,
@@ -49,6 +56,10 @@ OPCODE_NAMES = {v: k for k, v in OPCODES.items()}
 
 class DescriptorError(Exception):
     """Raised on malformed descriptors."""
+
+
+class DescriptorIntegrityError(DescriptorError):
+    """The descriptor image fails its integrity checksum (corruption)."""
 
 
 @dataclass(frozen=True)
@@ -140,8 +151,39 @@ def encode(program: TdlProgram, params: ParamStore,
         out.extend(_INSTR.pack(instr.opcode, instr.kind, 0,
                                instr.param_size, instr.param_addr))
     out.extend(pr)
+    struct.pack_into("<I", out, CHECKSUM_OFFSET, descriptor_checksum(out))
     return EncodedDescriptor(data=bytes(out), base_pa=base_pa,
                              n_instructions=n_instr, pr_offset=pr_offset)
+
+
+def descriptor_checksum(data) -> int:
+    """CRC32 over the descriptor with the command and checksum words
+    zeroed — covers the magic, the instruction count, the whole IR, and
+    the whole PR, so any aligned-word corruption outside the doorbell is
+    caught with certainty (CRC32 detects all <=32-bit bursts)."""
+    buf = bytearray(data)
+    if len(buf) < CR_BYTES:
+        raise DescriptorError("descriptor shorter than its control region")
+    struct.pack_into("<I", buf, COMMAND_OFFSET, 0)
+    struct.pack_into("<I", buf, CHECKSUM_OFFSET, 0)
+    return zlib.crc32(bytes(buf)) & 0xFFFFFFFF
+
+
+def verify_integrity(data: bytes) -> None:
+    """Check a full descriptor image against its sealed checksum.
+
+    Raises :class:`DescriptorIntegrityError` on mismatch. This is what
+    the configuration unit's fetch unit runs before dispatching.
+    """
+    if len(data) < CR_BYTES:
+        raise DescriptorIntegrityError(
+            "descriptor shorter than its control region")
+    (stored,) = struct.unpack_from("<I", data, CHECKSUM_OFFSET)
+    actual = descriptor_checksum(data)
+    if stored != actual:
+        raise DescriptorIntegrityError(
+            f"descriptor checksum mismatch: stored {stored:#010x}, "
+            f"computed {actual:#010x}")
 
 
 def decode_control(data: bytes) -> Tuple[int, int]:
@@ -171,5 +213,8 @@ def decode_instructions(data: bytes, n_instr: int) -> List[Instruction]:
 
 
 def set_command(data: bytearray, command: int) -> None:
-    """Write the command word in place (the doorbell the CR monitors)."""
-    struct.pack_into("<I", data, 4, command)
+    """Write the command word in place (the doorbell the CR monitors).
+
+    The integrity checksum deliberately excludes this word, so ringing
+    the doorbell does not invalidate a sealed descriptor."""
+    struct.pack_into("<I", data, COMMAND_OFFSET, command)

@@ -13,26 +13,92 @@ Two families, both backed by the device driver:
 
 Plans are reusable: one ``acc_plan``, many ``acc_execute`` — the
 software-loop baseline of Fig 12b does exactly that.
+
+``acc_execute`` is *hardened*: a watchdog bounds how long a hung
+configuration unit can stall the host, detected faults (corrupted
+descriptors, uncorrectable ECC errors, CU hangs) trigger bounded
+retries with exponential backoff — re-writing the descriptor from the
+host's golden copy and re-ringing the doorbell — and a dead
+accelerator tile (or exhausted retries) degrades gracefully to host
+execution of the equivalent ``repro.mkl`` profiles, so the call still
+returns a numerically correct result. Resilience costs are accounted in
+dedicated ledger categories (``fault``, ``retry``, ``fallback``); none
+of them appear when no fault occurs, so the fault-free path is
+bit-for-bit and joule-for-joule identical to the unhardened runtime.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
-from repro.core.config_unit import (ConfigurationUnit,
-                                    DescriptorExecution)
-from repro.core.descriptor import (CMD_IDLE, CMD_START, EncodedDescriptor,
-                                   encode)
+from repro.accel.tile import TileFailedError
+from repro.core.config_unit import ConfigurationUnit
+from repro.core.descriptor import (CMD_IDLE, CMD_START,
+                                   DescriptorError,
+                                   DescriptorIntegrityError,
+                                   EncodedDescriptor, encode, set_command)
 from repro.core.invocation import InvocationModel
 from repro.core.tdl import ParamStore, TdlProgram, parse_tdl
+from repro.faults.ecc import UncorrectableEccError
+from repro.faults.injector import CuHangError, FaultInjector
 from repro.memmgmt.addrspace import MappedBuffer, UnifiedAddressSpace
 from repro.memmgmt.allocator import ContiguousAllocator
-from repro.metrics import ExecResult
+from repro.metrics import ExecResult, ZERO
 
 
-class RuntimeError_(Exception):
-    """Raised on invalid runtime usage (destroyed plans, bad sizes)."""
+class MealibRuntimeError(Exception):
+    """Raised on invalid runtime usage (destroyed plans, bad sizes) and
+    on unrecoverable execution failures when host fallback is off."""
+
+
+#: Deprecated alias for :class:`MealibRuntimeError` (pre-1.1 name).
+RuntimeError_ = MealibRuntimeError
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs of the hardened ``acc_execute`` path.
+
+    Attributes:
+        max_retries: bounded retry budget per execute (after the first
+            attempt) before degrading to host execution.
+        watchdog_timeout: host-side watchdog on the doorbell, seconds;
+            charged to the ``fault`` ledger when a hang trips it.
+        backoff_base: first retry's backoff delay, seconds.
+        backoff_factor: exponential growth of the backoff delay.
+        host_fallback: degrade to the host ``repro.mkl`` profile when a
+            tile is dead or retries are exhausted; when False, such
+            failures raise :class:`MealibRuntimeError` instead.
+    """
+
+    max_retries: int = 3
+    watchdog_timeout: float = 100e-6
+    backoff_base: float = 5e-6
+    backoff_factor: float = 2.0
+    host_fallback: bool = True
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff delay before retry ``attempt`` (1-based)."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class ResilienceCounters:
+    """How often the hardened path had to intervene."""
+
+    executes: int = 0
+    retries: int = 0
+    watchdog_expiries: int = 0
+    fallbacks: int = 0
+    ecc_corrections: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of executes served by the accelerated path."""
+        if not self.executes:
+            return 1.0
+        return 1.0 - self.fallbacks / self.executes
 
 
 @dataclass
@@ -55,9 +121,16 @@ class LedgerEntry:
 
 @dataclass
 class Ledger:
-    """Accumulates time/energy by category for the breakdown figures."""
+    """Accumulates time/energy by category for the breakdown figures.
 
-    entries: list = field(default_factory=list)
+    Categories: ``host`` (compute-bounded library calls), ``invocation``
+    (per-execute host overhead), ``accelerator`` (descriptor
+    execution), plus the resilience categories ``fault`` (detection and
+    correction costs), ``retry`` (descriptor re-delivery and backoff)
+    and ``fallback`` (host execution of degraded accelerator work).
+    """
+
+    entries: List[LedgerEntry] = field(default_factory=list)
 
     def log(self, category: str, label: str, result: ExecResult) -> None:
         self.entries.append(LedgerEntry(category, label, result))
@@ -81,16 +154,36 @@ class Ledger:
         self.entries.clear()
 
 
+def _fault_label(exc: Exception) -> str:
+    """Ledger label for one detected fault."""
+    if isinstance(exc, CuHangError):
+        return "cu-hang"
+    if isinstance(exc, UncorrectableEccError):
+        return "ecc-uncorrectable"
+    if isinstance(exc, DescriptorIntegrityError):
+        return "descriptor-integrity"
+    if isinstance(exc, DescriptorError):
+        return "descriptor-invalid"
+    return "tile-failure"
+
+
 class MealibRuntime:
     """The runtime library a translated program links against."""
 
     def __init__(self, space: UnifiedAddressSpace,
                  config_unit: ConfigurationUnit,
-                 invocation: Optional[InvocationModel] = None):
+                 invocation: Optional[InvocationModel] = None,
+                 host=None,
+                 faults: Optional[FaultInjector] = None,
+                 policy: Optional[ResiliencePolicy] = None):
         self.space = space
         self.cu = config_unit
         self.invocation = (invocation if invocation is not None
                            else InvocationModel())
+        self.host = host                  # CpuModel for degraded execution
+        self.faults = faults
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.counters = ResilienceCounters()
         self.ledger = Ledger()
         # descriptor slots live in the command space, after a small
         # reserved header page
@@ -116,13 +209,18 @@ class MealibRuntime:
         signature) and size the coherence flush at execute time.
         """
         if in_size < 0 or out_size < 0:
-            raise RuntimeError_("buffer sizes must be non-negative")
+            raise MealibRuntimeError("buffer sizes must be non-negative")
         program = parse_tdl(tdl) if isinstance(tdl, str) else tdl
         # two-step: encode once to learn the size, then place it
         probe = encode(program, params, base_pa=0)
         slot = self._command_alloc.alloc(probe.size, align=64)
-        descriptor = encode(program, params, base_pa=slot)
-        self.space.pa_write(slot, descriptor.data)
+        try:
+            descriptor = encode(program, params, base_pa=slot)
+            self.space.pa_write(slot, descriptor.data)
+        except Exception:
+            # don't leak the command-space slot on a failed lowering
+            self._command_alloc.free(slot)
+            raise
         return AccPlan(program=program, descriptor=descriptor,
                        working_set_bytes=in_size + out_size)
 
@@ -132,35 +230,137 @@ class MealibRuntime:
 
         Charges the host-side invocation overhead (wbinvd, descriptor
         store, doorbell), writes START into the CR, and hands control to
-        the configuration unit. Returns the end-to-end cost; details are
-        accumulated in :attr:`ledger`.
+        the configuration unit. Detected faults are retried under
+        :attr:`policy`; dead tiles or exhausted retries degrade to host
+        execution. Returns the end-to-end cost including any resilience
+        overhead; details are accumulated in :attr:`ledger`.
         """
         if plan.destroyed:
-            raise RuntimeError_("acc_execute on a destroyed plan")
+            raise MealibRuntimeError("acc_execute on a destroyed plan")
         overhead = self.invocation.total(plan.descriptor.size,
                                          plan.working_set_bytes)
         self.ledger.log("invocation", "invocation", overhead)
-        # doorbell: set the command word the hardware polls
-        buf = bytearray(plan.descriptor.data)
-        from repro.core.descriptor import set_command
-        set_command(buf, CMD_START)
-        self.space.pa_write(plan.descriptor.base_pa, bytes(buf))
-        execution = self.cu.run_descriptor(plan.descriptor.base_pa,
-                                           plan.descriptor.size,
-                                           functional=functional)
-        for accel_name, share in execution.by_accelerator.items():
-            self.ledger.log("accelerator", accel_name, share)
-        # return the CR to idle
-        set_command(buf, CMD_IDLE)
-        self.space.pa_write(plan.descriptor.base_pa, bytes(buf))
-        plan.executions += 1
-        return overhead.plus(execution.result)
+        self.counters.executes += 1
+        total = overhead
+        attempt = 0
+        while True:
+            # (re-)deliver the golden descriptor image and ring START:
+            # this is also what repairs in-DRAM descriptor corruption
+            self._write_descriptor(plan, CMD_START)
+            try:
+                execution = self.cu.run_descriptor(
+                    plan.descriptor.base_pa, plan.descriptor.size,
+                    functional=functional)
+            except TileFailedError as exc:
+                self._write_descriptor(plan, CMD_IDLE)
+                total = total.plus(self._drain_correction_costs())
+                total = total.plus(self._account_fault(exc))
+                fallback = self._degrade_to_host(plan, functional, exc)
+                plan.executions += 1
+                return total.plus(fallback)
+            except (DescriptorError, UncorrectableEccError,
+                    CuHangError) as exc:
+                self._write_descriptor(plan, CMD_IDLE)
+                total = total.plus(self._drain_correction_costs())
+                total = total.plus(self._account_fault(exc))
+                if attempt >= self.policy.max_retries:
+                    fallback = self._degrade_to_host(plan, functional, exc)
+                    plan.executions += 1
+                    return total.plus(fallback)
+                attempt += 1
+                total = total.plus(self._account_retry(plan, attempt))
+            else:
+                self._write_descriptor(plan, CMD_IDLE)
+                total = total.plus(self._drain_correction_costs())
+                for accel_name, share in execution.by_accelerator.items():
+                    self.ledger.log("accelerator", accel_name, share)
+                plan.executions += 1
+                return total.plus(execution.result)
 
     def acc_destroy(self, plan: AccPlan) -> None:
         if plan.destroyed:
-            raise RuntimeError_("plan already destroyed")
+            raise MealibRuntimeError("plan already destroyed")
         self._command_alloc.free(plan.descriptor.base_pa)
         plan.destroyed = True
+
+    # -- hardened-execution internals ----------------------------------------
+
+    def _write_descriptor(self, plan: AccPlan, command: int) -> None:
+        """Store the full golden descriptor image with ``command`` in its
+        CR (descriptor delivery + doorbell)."""
+        buf = bytearray(plan.descriptor.data)
+        set_command(buf, command)
+        self.space.pa_write(plan.descriptor.base_pa, bytes(buf))
+
+    def _drain_correction_costs(self) -> ExecResult:
+        """Charge ECC single-bit corrections accumulated since the last
+        drain to the ``fault`` ledger."""
+        if self.faults is None:
+            return ZERO
+        cost, corrections = self.faults.drain_correction_cost()
+        if corrections:
+            self.counters.ecc_corrections += corrections
+            self.ledger.log("fault", "ecc-correction", cost)
+        return cost
+
+    def _account_fault(self, exc: Exception) -> ExecResult:
+        """Ledger one detected fault; hangs pay the watchdog timeout."""
+        if isinstance(exc, CuHangError):
+            self.counters.watchdog_expiries += 1
+            t = self.policy.watchdog_timeout
+            penalty = ExecResult(time=t,
+                                 energy=t * self.invocation.host_power)
+        else:
+            penalty = ZERO                 # detection itself is in-line
+        self.ledger.log("fault", _fault_label(exc), penalty)
+        return penalty
+
+    def _account_retry(self, plan: AccPlan, attempt: int) -> ExecResult:
+        """Cost of one retry: backoff wait + descriptor re-delivery +
+        a fresh doorbell."""
+        self.counters.retries += 1
+        backoff = self.policy.backoff(attempt)
+        cost = ExecResult(time=backoff,
+                          energy=backoff * self.invocation.host_power)
+        cost = cost.plus(
+            self.invocation.descriptor_cost(plan.descriptor.size))
+        cost = cost.plus(self.invocation.doorbell_cost())
+        self.ledger.log("retry", f"attempt-{attempt}", cost)
+        return cost
+
+    def _host_model(self):
+        if self.host is None:
+            from repro.host.platforms import haswell
+            self.host = haswell()
+        return self.host
+
+    def _degrade_to_host(self, plan: AccPlan, functional: bool,
+                         cause: Exception) -> ExecResult:
+        """Execute the plan's work on the host CPU (graceful fallback).
+
+        Decodes the *golden* (host-side) descriptor bytes — DRAM state
+        is untrusted at this point — runs the same numerics the
+        accelerators would have, and charges each COMP's ``repro.mkl``
+        profile on the host model under the ``fallback`` category.
+        """
+        if not self.policy.host_fallback:
+            raise MealibRuntimeError(
+                f"accelerated execution failed without fallback: "
+                f"{cause}") from cause
+        self.counters.fallbacks += 1
+        host = self._host_model()
+        plans = self.cu.plans_from_image(plan.descriptor.data,
+                                         plan.descriptor.base_pa)
+        cost = ZERO
+        for p in plans:
+            if functional:
+                self.cu.run_functional(p)
+            for comp in p.comps:
+                profile = comp.core.profile(comp.params)
+                share = host.run_profile(profile).repeated(p.count)
+                self.ledger.log("fallback", comp.core.name, share)
+                cost = cost.plus(share)
+        return cost
 
     # -- host-side accounting ---------------------------------------------
 

@@ -13,7 +13,8 @@ from typing import Optional
 from repro.accel.layer import AcceleratorLayer
 from repro.core.config_unit import ConfigurationUnit
 from repro.core.invocation import InvocationModel
-from repro.core.runtime import MealibRuntime
+from repro.core.runtime import MealibRuntime, ResiliencePolicy
+from repro.faults.injector import FaultInjector
 from repro.host.cpu import CpuModel
 from repro.host.platforms import haswell
 from repro.memmgmt.addrspace import UnifiedAddressSpace
@@ -24,22 +25,38 @@ from repro.mkl.profiles import OpProfile
 
 
 class MealibSystem:
-    """A host with one accelerated memory stack."""
+    """A host with one accelerated memory stack.
+
+    Passing a :class:`~repro.faults.injector.FaultInjector` wires fault
+    injection (and the matching ECC protection and runtime hardening)
+    through every layer: the physical memory's read path, the stacked
+    DRAM's timing model, the configuration unit's fetch/doorbell path,
+    and the runtime's watchdog/retry/fallback machinery. With ``faults``
+    left ``None`` the system is exactly the unhardened baseline.
+    """
 
     def __init__(self, host: Optional[CpuModel] = None,
                  stack_bytes: int = 1 << 30,
                  device: Optional[StackedDram] = None,
                  layer: Optional[AcceleratorLayer] = None,
-                 invocation: Optional[InvocationModel] = None):
+                 invocation: Optional[InvocationModel] = None,
+                 faults: Optional[FaultInjector] = None,
+                 policy: Optional[ResiliencePolicy] = None):
         self.host = host if host is not None else haswell()
         self.space = UnifiedAddressSpace(
             MealibDriver(stack_bytes=stack_bytes))
         self.device = device if device is not None else StackedDram()
         self.layer = layer if layer is not None else AcceleratorLayer()
+        self.faults = faults
+        if faults is not None:
+            self.space.driver.phys.fault_hook = faults.dram_read
+            if faults.config.ecc_enabled:
+                self.device.ecc = faults.ecc
         self.config_unit = ConfigurationUnit(self.layer, self.space,
-                                             self.device)
+                                             self.device, faults=faults)
         self.runtime = MealibRuntime(self.space, self.config_unit,
-                                     invocation)
+                                     invocation, host=self.host,
+                                     faults=faults, policy=policy)
 
     @property
     def ledger(self):
@@ -61,3 +78,10 @@ class MealibSystem:
         return (self.ledger.total("host"),
                 self.ledger.total("accelerator"),
                 self.ledger.total("invocation"))
+
+    def resilience_breakdown(self):
+        """(fault, retry, fallback) totals — the cost of surviving
+        injected faults. All zero on a fault-free run."""
+        return (self.ledger.total("fault"),
+                self.ledger.total("retry"),
+                self.ledger.total("fallback"))

@@ -1,0 +1,21 @@
+"""Fault injection and resilience modeling for MEALib.
+
+The subsystems expose small hooks that stay inert (and free) when no
+injector is attached; :class:`~repro.core.system.MealibSystem` wires an
+injector through the physical memory, the memory device, the
+configuration unit, and the runtime when one is passed.
+"""
+
+from repro.faults.ecc import (ECC_WORD_BITS, OUTCOME_CLEAN,
+                              OUTCOME_CORRECTED, OUTCOME_DETECTED,
+                              OUTCOME_SILENT, SecdedModel,
+                              UncorrectableEccError)
+from repro.faults.injector import (CuHangError, FaultConfig, FaultInjector,
+                                   FaultStats)
+
+__all__ = [
+    "ECC_WORD_BITS", "OUTCOME_CLEAN", "OUTCOME_CORRECTED",
+    "OUTCOME_DETECTED", "OUTCOME_SILENT", "SecdedModel",
+    "UncorrectableEccError", "CuHangError", "FaultConfig", "FaultInjector",
+    "FaultStats",
+]

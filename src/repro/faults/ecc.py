@@ -1,0 +1,86 @@
+"""SECDED ECC model for the stacked DRAM.
+
+Real 3D-stacked parts protect each 64-bit data word with 8 check bits
+(a (72,64) Hamming SECDED code): any single-bit error in a word is
+corrected on the fly, any double-bit error is *detected* but not
+correctable, and three or more flipped bits can alias to a valid or
+singly-corrupted codeword — silent data corruption.
+
+The model here mirrors that adjudication for injected faults and prices
+the resilience machinery:
+
+* every protected word pays a small decode energy as it streams through
+  the vault controller's ECC pipeline (charged in
+  :meth:`SecdedModel.stream_overhead`, folded into the device timing
+  model only when ECC is attached, so the unprotected baseline is
+  untouched);
+* every *correction* additionally pays a correct-and-writeback penalty
+  (:meth:`SecdedModel.correction_cost`), surfaced to the runtime ledger
+  under the ``fault`` category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics import ExecResult
+
+#: Data bits covered by one SECDED codeword.
+ECC_WORD_BITS = 64
+
+#: Outcomes of adjudicating one codeword.
+OUTCOME_CLEAN = "clean"
+OUTCOME_CORRECTED = "corrected"
+OUTCOME_DETECTED = "detected"          # double-bit: flagged, not fixed
+OUTCOME_SILENT = "silent"              # >= 3 bits: may alias, undetected
+
+
+class UncorrectableEccError(Exception):
+    """A read hit a detected-but-uncorrectable (double-bit) ECC error."""
+
+    def __init__(self, addr: int, words: int = 1):
+        super().__init__(
+            f"uncorrectable ECC error at physical address {addr:#x} "
+            f"({words} word{'s' if words != 1 else ''})")
+        self.addr = addr
+        self.words = words
+
+
+@dataclass(frozen=True)
+class SecdedModel:
+    """(72,64) SECDED timing/energy constants.
+
+    Attributes:
+        e_decode_per_word: syndrome-decode energy per streamed word, J.
+        t_pipeline: extra pipeline latency ECC adds to one drain, s.
+        t_correct: latency of one correct-and-writeback event, s.
+        e_correct: energy of one correct-and-writeback event, J.
+    """
+
+    e_decode_per_word: float = 5e-12
+    t_pipeline: float = 2e-9
+    t_correct: float = 25e-9
+    e_correct: float = 2e-10
+
+    def classify(self, flipped_bits: int) -> str:
+        """SECDED adjudication of one codeword with ``flipped_bits``."""
+        if flipped_bits <= 0:
+            return OUTCOME_CLEAN
+        if flipped_bits == 1:
+            return OUTCOME_CORRECTED
+        if flipped_bits == 2:
+            return OUTCOME_DETECTED
+        return OUTCOME_SILENT
+
+    def correction_cost(self, corrections: int) -> ExecResult:
+        """Cost of ``corrections`` correct-and-writeback events."""
+        return ExecResult(time=corrections * self.t_correct,
+                          energy=corrections * self.e_correct)
+
+    def stream_overhead(self, n_bytes: int) -> ExecResult:
+        """Decode-pipeline overhead of streaming ``n_bytes`` through ECC."""
+        words = max(n_bytes * 8 // ECC_WORD_BITS, 1) if n_bytes else 0
+        if not words:
+            return ExecResult(0.0, 0.0)
+        return ExecResult(time=self.t_pipeline,
+                          energy=words * self.e_decode_per_word)

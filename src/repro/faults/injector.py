@@ -1,0 +1,209 @@
+"""Deterministic, seedable fault injection.
+
+One :class:`FaultInjector` drives every fault model in the package from
+a single ``numpy`` PRNG, so a campaign run is exactly reproducible from
+its seed:
+
+* **DRAM bit flips** — on every hooked physical-memory read, each data
+  bit flips independently with probability ``dram_bit_error_rate``.
+  Flips are grouped into 64-bit ECC codewords and adjudicated by the
+  :class:`~repro.faults.ecc.SecdedModel`: single-bit errors are
+  corrected (the caller sees clean data, the correction cost is
+  queued), double-bit errors raise
+  :class:`~repro.faults.ecc.UncorrectableEccError`, and triple-plus
+  flips (or any flip with ECC disabled) silently corrupt the returned
+  bytes.
+* **Descriptor-word corruption** — with probability
+  ``descriptor_corruption_rate`` per fetch, one aligned 32-bit word of
+  the fetched descriptor image is replaced with a different random
+  word (models TSV / command-path upsets).
+* **CU / doorbell hangs** — with probability ``hang_rate`` per
+  doorbell, the configuration unit never responds
+  (:class:`CuHangError`; the runtime's watchdog turns this into a
+  bounded timeout plus retry).
+* **Tile failures** — with probability ``tile_fail_rate`` per
+  descriptor execution, one healthy accelerator tile hard-fails for
+  the rest of the run (the runtime degrades to host execution).
+
+The injector is pure policy: the subsystems own small hooks
+(`PhysicalMemory.fault_hook`, `ConfigurationUnit.faults`) that stay
+``None`` — and cost nothing — in the fault-free configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.ecc import (ECC_WORD_BITS, OUTCOME_CORRECTED,
+                              OUTCOME_DETECTED, OUTCOME_SILENT,
+                              SecdedModel, UncorrectableEccError)
+from repro.metrics import ExecResult
+
+
+class CuHangError(Exception):
+    """The configuration unit stopped responding to the doorbell."""
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates of every fault model (all default to 'no faults')."""
+
+    seed: int = 0
+    dram_bit_error_rate: float = 0.0        # per data bit per read
+    descriptor_corruption_rate: float = 0.0  # per descriptor fetch
+    hang_rate: float = 0.0                   # per doorbell
+    tile_fail_rate: float = 0.0              # per descriptor execution
+    ecc_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("dram_bit_error_rate", "descriptor_corruption_rate",
+                     "hang_rate", "tile_fail_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults and how they were adjudicated."""
+
+    reads_checked: int = 0
+    bits_flipped: int = 0
+    words_corrected: int = 0
+    words_uncorrectable: int = 0
+    words_silent: int = 0
+    descriptor_corruptions: int = 0
+    cu_hangs: int = 0
+    tile_failures: int = 0
+
+    @property
+    def faulty_words(self) -> int:
+        return (self.words_corrected + self.words_uncorrectable
+                + self.words_silent)
+
+    @property
+    def injected_events(self) -> int:
+        """All fault events the injector produced."""
+        return (self.faulty_words + self.descriptor_corruptions
+                + self.cu_hangs + self.tile_failures)
+
+    @property
+    def detected_events(self) -> int:
+        """Events the hardened stack noticed (everything but silent)."""
+        return self.injected_events - self.words_silent
+
+    @property
+    def detection_rate(self) -> float:
+        if not self.injected_events:
+            return 1.0
+        return self.detected_events / self.injected_events
+
+    def clear(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+class FaultInjector:
+    """Seeded source of every injected fault (see module docstring)."""
+
+    def __init__(self, config: Optional[FaultConfig] = None,
+                 ecc: Optional[SecdedModel] = None, **rates):
+        if config is not None and rates:
+            raise ValueError("pass either a FaultConfig or keyword rates")
+        self.config = config if config is not None else FaultConfig(**rates)
+        self.ecc = ecc if ecc is not None else SecdedModel()
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._pending_corrections = 0
+
+    def reset(self) -> None:
+        """Re-seed the PRNG and zero the statistics."""
+        self._rng = np.random.default_rng(self.config.seed)
+        self.stats.clear()
+        self._pending_corrections = 0
+
+    # -- DRAM data path (PhysicalMemory.fault_hook) --------------------------
+
+    def dram_read(self, addr: int, data: bytes) -> bytes:
+        """Adjudicate one physical read; returns the bytes the CPU or
+        accelerator actually observes."""
+        rate = self.config.dram_bit_error_rate
+        if rate <= 0.0 or not data:
+            return data
+        self.stats.reads_checked += 1
+        nbits = len(data) * 8
+        k = int(self._rng.binomial(nbits, rate))
+        if k == 0:
+            return data
+        k = min(k, nbits)
+        positions = self._rng.choice(nbits, size=k, replace=False)
+        self.stats.bits_flipped += k
+        by_word: Dict[int, List[int]] = {}
+        for pos in positions:
+            by_word.setdefault(int(pos) // ECC_WORD_BITS, []).append(int(pos))
+        corrupted: Optional[bytearray] = None
+        uncorrectable = 0
+        for _, bits in sorted(by_word.items()):
+            if self.config.ecc_enabled:
+                outcome = self.ecc.classify(len(bits))
+            else:
+                outcome = OUTCOME_SILENT
+            if outcome == OUTCOME_CORRECTED:
+                self.stats.words_corrected += 1
+                self._pending_corrections += 1
+            elif outcome == OUTCOME_DETECTED:
+                self.stats.words_uncorrectable += 1
+                uncorrectable += 1
+            else:                                   # silent corruption
+                self.stats.words_silent += 1
+                if corrupted is None:
+                    corrupted = bytearray(data)
+                for bit in bits:
+                    corrupted[bit // 8] ^= 1 << (bit % 8)
+        if uncorrectable:
+            raise UncorrectableEccError(addr, uncorrectable)
+        return bytes(corrupted) if corrupted is not None else data
+
+    def drain_correction_cost(self) -> Tuple[ExecResult, int]:
+        """Cost of ECC corrections since the last drain (for the ledger)."""
+        n = self._pending_corrections
+        self._pending_corrections = 0
+        return self.ecc.correction_cost(n), n
+
+    # -- command path (ConfigurationUnit hooks) ------------------------------
+
+    def corrupt_descriptor(self, raw: bytes) -> bytes:
+        """Maybe corrupt one aligned 32-bit word of a fetched descriptor."""
+        rate = self.config.descriptor_corruption_rate
+        if rate <= 0.0 or len(raw) < 4:
+            return raw
+        if self._rng.random() >= rate:
+            return raw
+        idx = int(self._rng.integers(len(raw) // 4))
+        old = raw[idx * 4:idx * 4 + 4]
+        new = old
+        while new == old:
+            new = self._rng.bytes(4)
+        self.stats.descriptor_corruptions += 1
+        return raw[:idx * 4] + new + raw[idx * 4 + 4:]
+
+    def sample_hang(self) -> bool:
+        """Does this doorbell ring hang the configuration unit?"""
+        if self.config.hang_rate <= 0.0:
+            return False
+        if self._rng.random() < self.config.hang_rate:
+            self.stats.cu_hangs += 1
+            return True
+        return False
+
+    def sample_tile_failure(self) -> Optional[int]:
+        """Index of a tile (0-based draw) to hard-fail, or None."""
+        if self.config.tile_fail_rate <= 0.0:
+            return None
+        if self._rng.random() < self.config.tile_fail_rate:
+            self.stats.tile_failures += 1
+            return int(self._rng.integers(1 << 30))
+        return None

@@ -11,7 +11,7 @@ the paper's unified-address-space requirement.
 from __future__ import annotations
 
 import bisect
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,12 +21,21 @@ class PhysMemError(Exception):
 
 
 class PhysicalMemory:
-    """Sparse byte-addressable physical memory."""
+    """Sparse byte-addressable physical memory.
+
+    ``fault_hook`` is the DRAM-fault injection point: when set, every
+    :meth:`read` passes its result through ``hook(addr, data)``, which
+    may return modified bytes (bit flips) or raise (uncorrectable ECC).
+    Zero-copy :meth:`view`/:meth:`ndarray` paths model direct TSV access
+    by the accelerator datapath and bypass the hook. ``None`` (the
+    default) costs nothing.
+    """
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self.fault_hook: Optional[Callable[[int, bytes], bytes]] = None
         self._starts: List[int] = []
         self._regions: List[Tuple[int, np.ndarray]] = []  # (start, backing)
 
@@ -68,7 +77,10 @@ class PhysicalMemory:
 
     def read(self, addr: int, n: int) -> bytes:
         backing, off = self._locate(addr, n)
-        return backing[off:off + n].tobytes()
+        data = backing[off:off + n].tobytes()
+        if self.fault_hook is not None:
+            data = self.fault_hook(addr, data)
+        return data
 
     def write(self, addr: int, data: bytes) -> None:
         backing, off = self._locate(addr, len(data))

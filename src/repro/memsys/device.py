@@ -9,7 +9,7 @@ from the per-bank event counters plus static power over the drain time.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.memsys.address import AddressMapping
 from repro.memsys.bank import BankStats
@@ -27,12 +27,16 @@ class MemoryDevice:
 
     def __init__(self, timing: DramTiming, energy: DramEnergy, units: int,
                  interleave_bytes: int, reorder_window: int = 8,
-                 name: str = "dram"):
+                 name: str = "dram", ecc=None):
         self.timing = timing
         self.energy = energy
         self.units = units
         self.name = name
         self.reorder_window = reorder_window
+        # Optional SECDED model (repro.faults.ecc.SecdedModel). When
+        # attached, every drained trace pays the ECC decode-pipeline
+        # overhead; None (the default) leaves the timing untouched.
+        self.ecc: Optional[object] = ecc
         self.mapping = AddressMapping(
             interleave_bytes=interleave_bytes,
             units=units,
@@ -88,5 +92,9 @@ class MemoryDevice:
                    + stats.accesses * self.energy.burst_energy(
                        self.request_bytes))
         total_energy = dynamic + self.static_power() * finish
+        if self.ecc is not None and bytes_moved:
+            overhead = self.ecc.stream_overhead(bytes_moved)
+            finish += overhead.time
+            total_energy += overhead.energy
         return MemResult(time=finish, energy=total_energy,
                          bytes_moved=bytes_moved, stats=stats)

@@ -26,9 +26,11 @@ class StackedDram(MemoryDevice):
     def __init__(self, timing: DramTiming = HMC_VAULT,
                  energy: DramEnergy = HMC_ENERGY,
                  vaults: int = DEFAULT_VAULTS,
-                 interleave_bytes: int = VAULT_INTERLEAVE_BYTES):
+                 interleave_bytes: int = VAULT_INTERLEAVE_BYTES,
+                 ecc=None):
         super().__init__(timing, energy, units=vaults,
-                         interleave_bytes=interleave_bytes, name="hmc-stack")
+                         interleave_bytes=interleave_bytes, name="hmc-stack",
+                         ecc=ecc)
 
     @property
     def vaults(self) -> int:

@@ -1,0 +1,94 @@
+"""Allocator/driver edge cases: double free, unknown base, exhaustion.
+
+The command-space exhaustion case goes through the full runtime path
+(`acc_plan` until the descriptor space is gone) and checks that the
+failure is a clean error which leaves the runtime usable — including
+after slots are released with `acc_destroy`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import AxpyParams
+from repro.core import MealibSystem, ParamStore
+from repro.core.config_unit import ConfigurationUnit
+from repro.core.runtime import MealibRuntime
+from repro.accel.layer import AcceleratorLayer
+from repro.memmgmt import AllocationError
+from repro.memmgmt.addrspace import UnifiedAddressSpace
+from repro.memmgmt.driver import DriverError, MealibDriver
+from repro.memsys.dram3d import StackedDram
+
+
+def small_command_space_runtime(command_bytes=4096):
+    """A runtime whose descriptor (command) space is tiny."""
+    driver = MealibDriver(stack_bytes=32 << 20, command_bytes=command_bytes)
+    space = UnifiedAddressSpace(driver)
+    layer = AcceleratorLayer()
+    cu = ConfigurationUnit(layer, space, StackedDram())
+    return MealibRuntime(space, cu)
+
+
+def axpy_store(space, n=64):
+    xb, _ = space.alloc_array((n,), np.float32)
+    yb, _ = space.alloc_array((n,), np.float32)
+    store = ParamStore()
+    store.add("a.para", AxpyParams(n=n, alpha=2.0, x_pa=xb.pa,
+                                   y_pa=yb.pa).pack())
+    return store
+
+
+class TestDriverFreeEdgeCases:
+    def test_double_free_raises_cleanly(self):
+        system = MealibSystem(stack_bytes=32 << 20)
+        buf = system.space.alloc(4096)
+        system.space.free(buf)
+        with pytest.raises(AllocationError):
+            system.space.free(buf)
+        # the driver state is intact: fresh allocations still work
+        again = system.space.alloc(4096)
+        arr = system.space.va_ndarray(again, np.uint8, (4096,))
+        arr[:] = 7
+        assert system.space.pa_read(again.pa, 4)[0] == 7
+
+    def test_free_of_unknown_base_raises(self):
+        driver = MealibDriver(stack_bytes=32 << 20)
+        with pytest.raises(AllocationError):
+            driver._mem_free(0x123456)
+
+    def test_munmap_of_unmapped_va_raises(self):
+        driver = MealibDriver(stack_bytes=32 << 20)
+        with pytest.raises(DriverError):
+            driver.munmap(0xDEAD000)
+
+
+class TestCommandSpaceExhaustion:
+    def test_acc_plan_exhaustion_is_clean_and_recoverable(self):
+        runtime = small_command_space_runtime(command_bytes=4096)
+        store = axpy_store(runtime.space)
+        plans = []
+        with pytest.raises(AllocationError):
+            for _ in range(1000):
+                plans.append(runtime.acc_plan(
+                    "PASS { COMP AXPY a.para }", store,
+                    in_size=512, out_size=256))
+        assert plans                       # some fit before exhaustion
+        # the failure corrupted nothing: every earlier plan still executes
+        result = runtime.acc_execute(plans[0])
+        assert result.time > 0
+        # and releasing slots makes planning possible again
+        for plan in plans:
+            runtime.acc_destroy(plan)
+        revived = runtime.acc_plan("PASS { COMP AXPY a.para }", store,
+                                   in_size=512, out_size=256)
+        assert runtime.acc_execute(revived).time > 0
+
+    def test_failed_plan_does_not_leak_slot(self):
+        runtime = small_command_space_runtime(command_bytes=4096)
+        store = ParamStore()               # missing a.para: encode fails
+        free_before = runtime._command_alloc.free_bytes
+        for _ in range(50):
+            with pytest.raises(Exception):
+                runtime.acc_plan("PASS { COMP AXPY a.para }", store,
+                                 in_size=512, out_size=256)
+        assert runtime._command_alloc.free_bytes == free_before
