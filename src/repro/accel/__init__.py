@@ -18,7 +18,7 @@ from repro.accel.fft import FftAccelerator, FftParams
 from repro.accel.gemv import GemvAccelerator, GemvParams
 from repro.accel.layer import (ACCELERATOR_TYPES, AcceleratorLayer,
                                ComponentBudget)
-from repro.accel.noc import MeshNoc
+from repro.accel.noc import LinkHealth, MeshNoc, NocUnreachableError
 from repro.accel.reshp import ReshpAccelerator, ReshpParams
 from repro.accel.resmp import ResmpAccelerator, ResmpParams
 from repro.accel.spmv import SpmvAccelerator, SpmvParams
@@ -32,7 +32,8 @@ __all__ = [
     "efficiency_range", "explore_fft", "explore_spmv", "DTYPE_C64",
     "DTYPE_F32", "DotAccelerator", "DotParams", "FftAccelerator",
     "FftParams", "GemvAccelerator", "GemvParams", "ACCELERATOR_TYPES",
-    "AcceleratorLayer", "ComponentBudget", "MeshNoc", "ReshpAccelerator",
+    "AcceleratorLayer", "ComponentBudget", "LinkHealth", "MeshNoc",
+    "NocUnreachableError", "ReshpAccelerator",
     "ReshpParams", "ResmpAccelerator", "ResmpParams", "SpmvAccelerator",
     "SpmvParams", "LAYER_AREA_BUDGET_MM2", "LogicBlock", "noc_area",
     "noc_power", "PORT_CHAIN", "PORT_DRAM", "SwitchConfig", "Tile",

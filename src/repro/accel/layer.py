@@ -15,7 +15,7 @@ from repro.accel.base import AcceleratorCore, DEFAULT_FREQ_HZ, DEFAULT_TILES
 from repro.accel.dot import DotAccelerator
 from repro.accel.fft import FftAccelerator
 from repro.accel.gemv import GemvAccelerator
-from repro.accel.noc import MeshNoc
+from repro.accel.noc import MeshNoc, NocUnreachableError
 from repro.accel.reshp import ReshpAccelerator
 from repro.accel.resmp import ResmpAccelerator
 from repro.accel.spmv import SpmvAccelerator
@@ -69,6 +69,61 @@ class AcceleratorLayer:
     def healthy(self) -> bool:
         """True when every tile can still be configured."""
         return not any(t.failed for t in self.tiles.values())
+
+    @property
+    def degraded(self) -> bool:
+        """True when a tile is dead or a mesh link is failed — the
+        layer still runs, but in the partial-degradation regime."""
+        return not self.healthy or self.noc.degraded
+
+    def serving_tiles(self) -> List[int]:
+        """Tiles that can take part in an accelerated pass: healthy
+        tiles inside the largest mesh-connected group of healthy tiles
+        (routers of dead tiles still forward traffic, so only *link*
+        failures can split the group). Ascending vault order."""
+        healthy = sorted(v for v, t in self.tiles.items() if not t.failed)
+        if not healthy or not self.noc.degraded:
+            return healthy
+        healthy_set = set(healthy)
+        best: List[int] = []
+        seen: set = set()
+        for vault in healthy:
+            if vault in seen:
+                continue
+            group = sorted(t for t in self.noc.reachable(vault)
+                           if t in healthy_set)
+            seen.update(group)
+            if len(group) > len(best):
+                best = group
+        return best
+
+    def reroute_map(self) -> Dict[int, Optional[int]]:
+        """Serving tile for every vault whose own tile cannot serve it.
+
+        Maps each degraded vault (dead tile, or healthy tile isolated
+        from the serving group) to the nearest serving tile by adaptive
+        route hops — the tile its data stripe is rerouted to over
+        TSV + mesh. ``None`` marks a vault no serving tile can reach;
+        one such vault forces the whole descriptor to the host, since
+        vault interleaving spreads every operand over every vault.
+        """
+        serving = self.serving_tiles()
+        serving_set = set(serving)
+        out: Dict[int, Optional[int]] = {}
+        for vault in sorted(self.tiles):
+            if vault in serving_set:
+                continue
+            best: Optional[int] = None
+            best_hops: Optional[int] = None
+            for tile in serving:
+                try:
+                    h = self.noc.route_hops(vault, tile)
+                except NocUnreachableError:
+                    continue
+                if best_hops is None or h < best_hops:
+                    best, best_hops = tile, h
+            out[vault] = best
+        return out
 
     def accelerator(self, name: str) -> AcceleratorCore:
         try:

@@ -17,8 +17,10 @@ PORT_CHAIN = "chain"
 
 
 class TileFailedError(Exception):
-    """A required accelerator tile is marked failed (dead logic-layer
-    die area); the descriptor cannot run on the stack."""
+    """No accelerator tile can serve the descriptor: every tile is
+    dead, or link failures cut the survivors off from a vault whose
+    stripe they would have to serve. A *single* dead tile no longer
+    raises — its vault stripe is rerouted to the healthy tiles."""
 
 
 @dataclass
@@ -44,8 +46,10 @@ class Tile:
         active_pe: name of the accelerator currently enabled (or None).
         switch: current port wiring.
         failed: the tile's logic is dead; it can no longer be
-            configured (vault interleaving makes the whole stack's
-            accelerated path unusable until the part is replaced).
+            configured. Its vault's DRAM (and mesh router) stay alive,
+            so the vault's data stripe is served by the remaining
+            healthy tiles over TSV + mesh instead of taking the whole
+            accelerated path down.
     """
 
     vault: int

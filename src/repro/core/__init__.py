@@ -1,7 +1,8 @@
 """MEALib core: TDL, descriptors, configuration unit, runtime, system."""
 
 from repro.core.config_unit import (CompInstance, ConfigurationUnit,
-                                    DescriptorExecution, PassPlan)
+                                    Degradation, DescriptorExecution,
+                                    PassPlan)
 from repro.core.descriptor import (CMD_IDLE, CMD_START, DescriptorError,
                                    DescriptorIntegrityError,
                                    EncodedDescriptor, Instruction,
@@ -20,7 +21,8 @@ from repro.core.tdl import (Comp, Loop, ParamStore, Pass, TdlError,
                             TdlProgram, format_tdl, parse_tdl)
 
 __all__ = [
-    "CompInstance", "ConfigurationUnit", "DescriptorExecution", "PassPlan",
+    "CompInstance", "ConfigurationUnit", "Degradation",
+    "DescriptorExecution", "PassPlan",
     "CMD_IDLE", "CMD_START", "DescriptorError", "DescriptorIntegrityError",
     "EncodedDescriptor", "Instruction", "KIND_ACCEL", "KIND_ENDLOOP",
     "KIND_ENDPASS", "KIND_LOOP", "OPCODES", "decode_control",

@@ -35,6 +35,7 @@ from repro.core.descriptor import (CMD_START, CR_BYTES, INSTR_BYTES,
 from repro.faults.injector import CuHangError, FaultInjector
 from repro.memmgmt.addrspace import UnifiedAddressSpace
 from repro.memsys.device import MemoryDevice
+from repro.memsys.result import MemResult
 from repro.memsys.trace import StreamSpec, simulate_streams
 from repro.metrics import ExecResult, ZERO
 
@@ -78,6 +79,24 @@ class PassPlan:
         return len(self.comps) > 1
 
 
+@dataclass(frozen=True)
+class Degradation:
+    """The layer's partial-degradation state for one execution.
+
+    Attributes:
+        serving: vaults whose tiles execute the pass, ascending.
+        reroutes: degraded vault -> serving tile its data stripe is
+            carried to over TSV + mesh.
+    """
+
+    serving: Tuple[int, ...]
+    reroutes: Mapping[int, int]
+
+    @property
+    def active(self) -> bool:
+        return bool(self.reroutes)
+
+
 @dataclass
 class DescriptorExecution:
     """Outcome of running one descriptor."""
@@ -86,6 +105,13 @@ class DescriptorExecution:
     by_accelerator: Dict[str, ExecResult]
     invocations: int
     passes: int
+    #: Extra time/energy of running degraded (mesh detours, rerouted
+    #: vault stripes, fewer lanes); ZERO on a fully healthy layer.
+    reroute_overhead: ExecResult = ZERO
+    #: Tiles that actually served the descriptor (16 when healthy).
+    tiles_used: int = 0
+    #: Vault stripes served by a remote tile.
+    rerouted_vaults: int = 0
 
     def accel_share(self, name: str) -> float:
         """Fraction of descriptor time spent in one accelerator."""
@@ -300,13 +326,19 @@ class ConfigurationUnit:
 
     # -- execution --------------------------------------------------------------
 
-    def _configure_tiles(self, plan: PassPlan) -> None:
-        """Program the switch network for one pass (chain wiring)."""
+    def _configure_tiles(self, plan: PassPlan,
+                         serving: Optional[List[int]] = None) -> None:
+        """Program the switch network for one pass (chain wiring).
+
+        Only the ``serving`` tiles are armed; dead or mesh-isolated
+        tiles sit the pass out and their vault stripes ride the NoC.
+        """
+        vaults = serving if serving is not None else list(self.layer.tiles)
         for idx, comp in enumerate(plan.comps):
             first = idx == 0
             last = idx == len(plan.comps) - 1
-            for tile in self.layer.tiles.values():
-                tile.configure(
+            for vault in vaults:
+                self.layer.tiles[vault].configure(
                     comp.core.name,
                     input_port=PORT_DRAM if first else PORT_CHAIN,
                     output_port=PORT_DRAM if last else PORT_CHAIN)
@@ -325,13 +357,45 @@ class ConfigurationUnit:
                 params = shift_params(comp.params, comp.strides, i)
                 comp.core.run(self.space, params)
 
-    def _model_pass(self, plan: PassPlan) -> Tuple[ExecResult,
-                                                   Dict[str, float]]:
+    def _model_pass(self, plan: PassPlan,
+                    degradation: Optional[Degradation] = None
+                    ) -> Tuple[ExecResult, Dict[str, float], ExecResult]:
         """Time/energy of one pass plan (loop iterations aggregated).
+
+        Returns ``(result, per-comp compute times, reroute overhead)``.
+        When the layer is degraded, ``result`` is the degraded cost and
+        the overhead is its excess over the hypothetical healthy cost
+        (what the ``reroute`` ledger category accounts). On a healthy
+        layer the overhead is exactly :data:`~repro.metrics.ZERO` and
+        the model is bit-identical to the undegraded one.
+        """
+        if degradation is None or not degradation.active:
+            result, compute_times = self._pass_terms(
+                plan, len(self.layer.tiles), {})
+            return result, compute_times, ZERO
+        result, compute_times = self._pass_terms(
+            plan, len(degradation.serving), degradation.reroutes)
+        clean, _ = self._pass_terms(plan, len(self.layer.tiles), {})
+        overhead = ExecResult(max(0.0, result.time - clean.time),
+                              max(0.0, result.energy - clean.energy))
+        return result, compute_times, overhead
+
+    def _pass_terms(self, plan: PassPlan, n_serve: int,
+                    reroutes: Mapping[int, int]
+                    ) -> Tuple[ExecResult, Dict[str, float]]:
+        """One pass's cost on ``n_serve`` tiles with ``reroutes`` vault
+        stripes carried over the mesh.
 
         For a chained pass only the first COMP's input streams and the
         last COMP's output streams touch DRAM; intermediates ride the
-        tile local memories and the NoC.
+        tile local memories and the NoC. A rerouted vault's stripe (its
+        1/16th of the DRAM traffic) additionally crosses the mesh to
+        its serving tile: transfers to distinct serving tiles proceed
+        in parallel, stripes converging on one tile serialise on its
+        link, and the slowest group enters the pass pipeline as one
+        more concurrent stage. Fewer serving tiles also stretch the
+        DRAM time (each tile drives only its own vault's TSV bus) and
+        shrink the deployed compute lanes.
         """
         first, last = plan.comps[0], plan.comps[-1]
         streams: List[StreamSpec] = []
@@ -342,11 +406,19 @@ class ConfigurationUnit:
                        _comp_streams_aggregated(last, plan.count)
                        if s.is_write)
         mem = simulate_streams(self.device, streams)
+        if n_serve < self.device.units:
+            stretched = mem.time * self.device.units / n_serve
+            mem = MemResult(
+                time=stretched,
+                energy=mem.energy + self.device.static_power()
+                * (stretched - mem.time),
+                bytes_moved=mem.bytes_moved)
         compute_times = {}
         for comp in plan.comps:
             prof = comp.core.profile(comp.params)
             compute_times[comp.core.name] = (
-                plan.count * prof.flops / comp.core.compute_rate()
+                plan.count * prof.flops
+                / comp.core.compute_rate(tiles=n_serve)
                 if prof.flops else 0.0)
         t_compute = max(compute_times.values()) if compute_times else 0.0
         t_noc = 0.0
@@ -354,9 +426,12 @@ class ConfigurationUnit:
             inter_bytes = plan.count * sum(
                 s.total_bytes for s in first.core.streams(first.params)
                 if s.is_write)
-            t_noc = inter_bytes / (self.noc.tiles * self.noc.link_bw)
-        t_ctrl = plan.count * LOOP_REARM_TIME / len(self.layer.tiles)
-        time = max(mem.time, t_compute, t_noc, t_ctrl) + PASS_ARM_TIME
+            t_noc = inter_bytes / (n_serve * self.noc.link_bw)
+        t_ctrl = plan.count * LOOP_REARM_TIME / n_serve
+        t_reroute, e_reroute = self._reroute_terms(mem.bytes_moved,
+                                                   reroutes)
+        time = (max(mem.time, t_compute, t_noc, t_ctrl, t_reroute)
+                + PASS_ARM_TIME)
         energy = mem.energy
         if time > mem.time:
             energy += self.device.static_power() * (time - mem.time)
@@ -364,58 +439,141 @@ class ConfigurationUnit:
             activity = min(
                 1.0, compute_times[comp.core.name] / time if time else 0.0)
             energy += comp.core.logic_power(
-                activity=max(activity, 0.25)) * time
-        energy += (noc_power() + CU_POWER) * time
+                activity=max(activity, 0.25), tiles=n_serve) * time
+        energy += (noc_power() + CU_POWER) * time + e_reroute
         return ExecResult(time=time, energy=energy), compute_times
+
+    def _reroute_terms(self, bytes_moved: float,
+                       reroutes: Mapping[int, int]
+                       ) -> Tuple[float, float]:
+        """Mesh transport cost of the rerouted vault stripes."""
+        if not reroutes:
+            return 0.0, 0.0
+        stripe = bytes_moved / self.device.units
+        by_server: Dict[int, List[int]] = {}
+        for vault, server in reroutes.items():
+            by_server.setdefault(server, []).append(vault)
+        t_reroute = 0.0
+        e_reroute = 0.0
+        for server, vaults in by_server.items():
+            hops = [self.noc.route_hops(v, server) for v in vaults]
+            t_group = (max(hops) * self.noc.hop_latency
+                       + stripe * len(vaults) / self.noc.link_bw)
+            t_reroute = max(t_reroute, t_group)
+            e_reroute += sum(h * stripe * self.noc.energy_per_byte_hop
+                             for h in hops)
+        return t_reroute, e_reroute
+
+    def _inject_structural_faults(self) -> Optional[Tuple[int, int]]:
+        """Apply this execution's injected tile/link faults.
+
+        Returns the link flapped for just this execution (to restore
+        afterwards), if any. Raises :class:`CuHangError` when the
+        doorbell draw hangs the CU.
+        """
+        draw = self.faults.sample_tile_failure()
+        if draw is not None:
+            healthy = sorted(v for v, t in self.layer.tiles.items()
+                             if not t.failed)
+            if healthy:
+                self.layer.mark_tile_failed(healthy[draw % len(healthy)])
+        draw = self.faults.sample_link_failure()
+        if draw is not None:
+            links = self.noc.healthy_links()
+            if links:
+                self.noc.fail_link(*links[draw % len(links)])
+        flapped: Optional[Tuple[int, int]] = None
+        draw = self.faults.sample_link_flap()
+        if draw is not None:
+            links = self.noc.healthy_links()
+            if links:
+                flapped = links[draw % len(links)]
+                self.noc.fail_link(*flapped)
+        return flapped
+
+    def _degradation(self) -> Tuple[List[int], Optional[Degradation]]:
+        """Current serving tiles + degradation record, or raise
+        :class:`TileFailedError` when no accelerated execution is
+        possible (every tile dead, or a vault unreachable)."""
+        serving = self.layer.serving_tiles()
+        if not serving:
+            raise TileFailedError(
+                f"tiles on vaults {self.layer.failed_tiles()} are all "
+                "failed; no tile can serve the descriptor")
+        reroutes = self.layer.reroute_map()
+        unreachable = sorted(v for v, s in reroutes.items() if s is None)
+        if unreachable:
+            raise TileFailedError(
+                f"no serving tile can reach vaults {unreachable} over "
+                f"the degraded mesh (failed links: "
+                f"{sorted(self.noc.failed_links)})")
+        if len(serving) == len(self.layer.tiles):
+            return serving, None
+        return serving, Degradation(
+            serving=tuple(serving),
+            reroutes={v: s for v, s in reroutes.items()})
 
     def run_descriptor(self, desc_pa: int, desc_bytes: int,
                        functional: bool = True) -> DescriptorExecution:
         """Execute a descriptor: functional effects + time/energy.
 
-        Raises :class:`TileFailedError` when the accelerator layer has a
-        dead tile (vault interleaving spreads every operand over every
-        vault, so one dead tile takes down the accelerated path),
+        A dead tile (or a mesh-isolated one) no longer aborts the
+        execution: its vault's data stripe is rerouted over TSV + mesh
+        to the surviving tiles and the pass runs degraded, with the
+        detour's bandwidth/energy cost reported in
+        :attr:`DescriptorExecution.reroute_overhead`. Raises
+        :class:`TileFailedError` only when *no* tile can serve the
+        descriptor (all dead, or a vault cut off by link failures),
         :class:`CuHangError` when an injected hang eats the doorbell,
         and :class:`DescriptorError`/:class:`DescriptorIntegrityError`
         when the fetched descriptor image fails validation.
         """
-        if not self.layer.healthy:
-            raise TileFailedError(
-                f"tiles on vaults {self.layer.failed_tiles()} are failed")
+        flapped: Optional[Tuple[int, int]] = None
         if self.faults is not None:
-            draw = self.faults.sample_tile_failure()
-            if draw is not None:
-                healthy = sorted(v for v, t in self.layer.tiles.items()
-                                 if not t.failed)
-                vault = healthy[draw % len(healthy)]
-                self.layer.mark_tile_failed(vault)
-                raise TileFailedError(
-                    f"tile on vault {vault} failed during execution")
-            if self.faults.sample_hang():
+            flapped = self._inject_structural_faults()
+        try:
+            if self.faults is not None and self.faults.sample_hang():
                 raise CuHangError(
                     "configuration unit did not acknowledge the doorbell")
-        image = self.fetch(desc_pa, desc_bytes)
-        plans = self.plans_from_image(image, desc_pa, require_start=True)
-        fetch_time = FU_FETCH_LATENCY + desc_bytes / FU_FETCH_BW
-        total = ExecResult(time=fetch_time, energy=fetch_time * CU_POWER)
-        by_accel: Dict[str, ExecResult] = {}
-        invocations = 0
-        for plan in plans:
-            self._configure_tiles(plan)
-            if functional:
-                self.run_functional(plan)
-            pass_result, _ = self._model_pass(plan)
-            total = total.plus(pass_result)
-            # attribute the pass to its accelerators by stream share
-            share = pass_result.time / max(len(plan.comps), 1)
-            for comp in plan.comps:
-                prev = by_accel.get(comp.core.name, ZERO)
-                frac = ExecResult(
-                    time=share,
-                    energy=pass_result.energy / len(plan.comps))
-                by_accel[comp.core.name] = prev.plus(frac)
-            invocations += plan.count * len(plan.comps)
-            self._release_tiles()
-        return DescriptorExecution(result=total, by_accelerator=by_accel,
-                                   invocations=invocations,
-                                   passes=len(plans))
+            serving, degradation = self._degradation()
+            image = self.fetch(desc_pa, desc_bytes)
+            plans = self.plans_from_image(image, desc_pa,
+                                          require_start=True)
+            fetch_time = FU_FETCH_LATENCY + desc_bytes / FU_FETCH_BW
+            total = ExecResult(time=fetch_time,
+                               energy=fetch_time * CU_POWER)
+            by_accel: Dict[str, ExecResult] = {}
+            reroute_total = ZERO
+            invocations = 0
+            for plan in plans:
+                self._configure_tiles(plan, serving)
+                if functional:
+                    self.run_functional(plan)
+                pass_result, _, overhead = self._model_pass(plan,
+                                                            degradation)
+                total = total.plus(pass_result)
+                reroute_total = reroute_total.plus(overhead)
+                # attribute the healthy-equivalent share of the pass to
+                # its accelerators; the degradation excess is reported
+                # separately so the reroute ledger can carry it
+                base = ExecResult(pass_result.time - overhead.time,
+                                  pass_result.energy - overhead.energy)
+                share = base.time / max(len(plan.comps), 1)
+                for comp in plan.comps:
+                    prev = by_accel.get(comp.core.name, ZERO)
+                    frac = ExecResult(
+                        time=share,
+                        energy=base.energy / len(plan.comps))
+                    by_accel[comp.core.name] = prev.plus(frac)
+                invocations += plan.count * len(plan.comps)
+                self._release_tiles()
+            return DescriptorExecution(
+                result=total, by_accelerator=by_accel,
+                invocations=invocations, passes=len(plans),
+                reroute_overhead=reroute_total,
+                tiles_used=len(serving),
+                rerouted_vaults=(len(degradation.reroutes)
+                                 if degradation is not None else 0))
+        finally:
+            if flapped is not None:
+                self.noc.restore_link(*flapped)

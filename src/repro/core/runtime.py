@@ -18,13 +18,19 @@ software-loop baseline of Fig 12b does exactly that.
 configuration unit can stall the host, detected faults (corrupted
 descriptors, uncorrectable ECC errors, CU hangs) trigger bounded
 retries with exponential backoff — re-writing the descriptor from the
-host's golden copy and re-ringing the doorbell — and a dead
-accelerator tile (or exhausted retries) degrades gracefully to host
-execution of the equivalent ``repro.mkl`` profiles, so the call still
-returns a numerically correct result. Resilience costs are accounted in
-dedicated ledger categories (``fault``, ``retry``, ``fallback``); none
-of them appear when no fault occurs, so the fault-free path is
-bit-for-bit and joule-for-joule identical to the unhardened runtime.
+host's golden copy and re-ringing the doorbell at the cheaper
+warm-retry cost (the setup work of the first delivery is not repeated).
+Dead or mesh-isolated accelerator tiles degrade *partially*: the
+affected vault's data stripe is rerouted over TSV + mesh to the
+surviving tiles (the excess lands in the ``reroute`` ledger category),
+and only when no tile at all can serve the descriptor — every tile
+dead, or a vault cut off by NoC link failures — does execution degrade
+to the host's equivalent ``repro.mkl`` profiles. The call always
+returns a numerically correct result. Resilience costs are accounted
+in dedicated ledger categories (``fault``, ``retry``, ``fallback``,
+``reroute``); none of them appear when no fault occurs, so the
+fault-free path is bit-for-bit and joule-for-joule identical to the
+unhardened runtime.
 """
 
 from __future__ import annotations
@@ -67,9 +73,10 @@ class ResiliencePolicy:
             charged to the ``fault`` ledger when a hang trips it.
         backoff_base: first retry's backoff delay, seconds.
         backoff_factor: exponential growth of the backoff delay.
-        host_fallback: degrade to the host ``repro.mkl`` profile when a
-            tile is dead or retries are exhausted; when False, such
-            failures raise :class:`MealibRuntimeError` instead.
+        host_fallback: degrade to the host ``repro.mkl`` profile when
+            no tile can serve the descriptor or retries are exhausted;
+            when False, such failures raise
+            :class:`MealibRuntimeError` instead.
     """
 
     max_retries: int = 3
@@ -92,13 +99,24 @@ class ResilienceCounters:
     watchdog_expiries: int = 0
     fallbacks: int = 0
     ecc_corrections: int = 0
+    degraded_executes: int = 0
+    rerouted_stripes: int = 0
 
     @property
     def availability(self) -> float:
-        """Fraction of executes served by the accelerated path."""
+        """Fraction of executes served by the accelerated path
+        (degraded executes still count as available — they ran on the
+        accelerators, just with rerouted vault stripes)."""
         if not self.executes:
             return 1.0
         return 1.0 - self.fallbacks / self.executes
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of executes that ran accelerated but degraded."""
+        if not self.executes:
+            return 0.0
+        return self.degraded_executes / self.executes
 
 
 @dataclass
@@ -126,8 +144,10 @@ class Ledger:
     Categories: ``host`` (compute-bounded library calls), ``invocation``
     (per-execute host overhead), ``accelerator`` (descriptor
     execution), plus the resilience categories ``fault`` (detection and
-    correction costs), ``retry`` (descriptor re-delivery and backoff)
-    and ``fallback`` (host execution of degraded accelerator work).
+    correction costs), ``retry`` (descriptor re-delivery and backoff),
+    ``reroute`` (the excess of running degraded: mesh detours and
+    rerouted vault stripes) and ``fallback`` (host execution when no
+    tile can serve the work).
     """
 
     entries: List[LedgerEntry] = field(default_factory=list)
@@ -274,6 +294,12 @@ class MealibRuntime:
                 total = total.plus(self._drain_correction_costs())
                 for accel_name, share in execution.by_accelerator.items():
                     self.ledger.log("accelerator", accel_name, share)
+                if execution.rerouted_vaults:
+                    self.counters.degraded_executes += 1
+                    self.counters.rerouted_stripes += (
+                        execution.rerouted_vaults)
+                    self.ledger.log("reroute", "vault-stripe",
+                                    execution.reroute_overhead)
                 plan.executions += 1
                 return total.plus(execution.result)
 
@@ -316,14 +342,20 @@ class MealibRuntime:
         return penalty
 
     def _account_retry(self, plan: AccPlan, attempt: int) -> ExecResult:
-        """Cost of one retry: backoff wait + descriptor re-delivery +
-        a fresh doorbell."""
+        """Cost of one retry: backoff wait + *warm* descriptor
+        re-delivery + a fresh doorbell.
+
+        A re-ring after an in-DRAM repair does not repeat the cold
+        invocation's setup (runtime bookkeeping, fences, translation
+        are already done); it pays only the calibrated warm-retry
+        overhead, which is strictly cheaper than the cold descriptor
+        delivery."""
         self.counters.retries += 1
         backoff = self.policy.backoff(attempt)
         cost = ExecResult(time=backoff,
                           energy=backoff * self.invocation.host_power)
         cost = cost.plus(
-            self.invocation.descriptor_cost(plan.descriptor.size))
+            self.invocation.warm_retry_cost(plan.descriptor.size))
         cost = cost.plus(self.invocation.doorbell_cost())
         self.ledger.log("retry", f"attempt-{attempt}", cost)
         return cost

@@ -80,8 +80,9 @@ class MealibSystem:
                 self.ledger.total("invocation"))
 
     def resilience_breakdown(self):
-        """(fault, retry, fallback) totals — the cost of surviving
-        injected faults. All zero on a fault-free run."""
+        """(fault, retry, reroute, fallback) totals — the cost of
+        surviving injected faults. All zero on a fault-free run."""
         return (self.ledger.total("fault"),
                 self.ledger.total("retry"),
+                self.ledger.total("reroute"),
                 self.ledger.total("fallback"))

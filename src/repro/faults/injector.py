@@ -23,7 +23,15 @@ its seed:
   bounded timeout plus retry).
 * **Tile failures** — with probability ``tile_fail_rate`` per
   descriptor execution, one healthy accelerator tile hard-fails for
-  the rest of the run (the runtime degrades to host execution).
+  the rest of the run (the runtime reroutes its vault stripe to the
+  surviving tiles, and degrades to host execution only when no tile
+  is left).
+* **NoC link failures** — with probability ``link_fail_rate`` per
+  descriptor execution, one healthy mesh link hard-fails for the rest
+  of the run; the adaptive router detours around it.
+* **NoC link flaps** — with probability ``link_flap_rate`` per
+  descriptor execution, one healthy mesh link is down for just that
+  execution (marginal TSV/driver contact), then comes back.
 
 The injector is pure policy: the subsystems own small hooks
 (`PhysicalMemory.fault_hook`, `ConfigurationUnit.faults`) that stay
@@ -56,11 +64,14 @@ class FaultConfig:
     descriptor_corruption_rate: float = 0.0  # per descriptor fetch
     hang_rate: float = 0.0                   # per doorbell
     tile_fail_rate: float = 0.0              # per descriptor execution
+    link_fail_rate: float = 0.0              # per descriptor execution
+    link_flap_rate: float = 0.0              # per descriptor execution
     ecc_enabled: bool = True
 
     def __post_init__(self) -> None:
         for name in ("dram_bit_error_rate", "descriptor_corruption_rate",
-                     "hang_rate", "tile_fail_rate"):
+                     "hang_rate", "tile_fail_rate", "link_fail_rate",
+                     "link_flap_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -78,6 +89,8 @@ class FaultStats:
     descriptor_corruptions: int = 0
     cu_hangs: int = 0
     tile_failures: int = 0
+    link_failures: int = 0
+    link_flaps: int = 0
 
     @property
     def faulty_words(self) -> int:
@@ -88,7 +101,8 @@ class FaultStats:
     def injected_events(self) -> int:
         """All fault events the injector produced."""
         return (self.faulty_words + self.descriptor_corruptions
-                + self.cu_hangs + self.tile_failures)
+                + self.cu_hangs + self.tile_failures
+                + self.link_failures + self.link_flaps)
 
     @property
     def detected_events(self) -> int:
@@ -205,5 +219,26 @@ class FaultInjector:
             return None
         if self._rng.random() < self.config.tile_fail_rate:
             self.stats.tile_failures += 1
+            return int(self._rng.integers(1 << 30))
+        return None
+
+    def sample_link_failure(self) -> Optional[int]:
+        """Draw for a mesh link to hard-fail this execution, or None.
+
+        The caller maps the draw onto its list of currently healthy
+        links (the injector is pure policy and owns no topology)."""
+        if self.config.link_fail_rate <= 0.0:
+            return None
+        if self._rng.random() < self.config.link_fail_rate:
+            self.stats.link_failures += 1
+            return int(self._rng.integers(1 << 30))
+        return None
+
+    def sample_link_flap(self) -> Optional[int]:
+        """Draw for a mesh link that is down for this execution only."""
+        if self.config.link_flap_rate <= 0.0:
+            return None
+        if self._rng.random() < self.config.link_flap_rate:
+            self.stats.link_flaps += 1
             return int(self._rng.integers(1 << 30))
         return None

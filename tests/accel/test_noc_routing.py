@@ -1,0 +1,143 @@
+"""Property tests for the adaptive mesh router under link failures.
+
+For every (src, dst) pair, under up to six random seeded link
+failures: the route is loop-free, crosses only healthy links between
+adjacent routers, and collapses to the XY hop count when nothing is
+failed; pairs the failures disconnect raise the typed
+:class:`NocUnreachableError` instead of hanging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import LinkHealth, MeshNoc, NocUnreachableError
+
+
+def fresh_noc():
+    return MeshNoc()
+
+
+def fail_random_links(noc, k, seed):
+    rng = np.random.default_rng(seed)
+    links = noc.links()
+    picks = rng.choice(len(links), size=k, replace=False)
+    for i in picks:
+        noc.fail_link(*links[int(i)])
+    return [links[int(i)] for i in picks]
+
+
+def assert_route_well_formed(noc, src, dst, path):
+    assert path[0] == src and path[-1] == dst
+    assert len(set(path)) == len(path), f"loop in route {path}"
+    for a, b in zip(path, path[1:]):
+        assert noc.hops(a, b) == 1, f"{a}->{b} not adjacent in {path}"
+        assert noc.health.is_healthy(a, b), f"{a}->{b} is failed"
+
+
+class TestHealthyMesh:
+    def test_routes_match_xy_hop_count(self):
+        noc = fresh_noc()
+        for src in range(noc.tiles):
+            for dst in range(noc.tiles):
+                path = noc.route(src, dst)
+                assert_route_well_formed(noc, src, dst, path)
+                assert len(path) - 1 == noc.hops(src, dst)
+                assert noc.route_hops(src, dst) == noc.hops(src, dst)
+
+    def test_transfer_costs_match_pre_overlay_model(self):
+        # the overlay must not perturb the calibrated fault-free model
+        noc = fresh_noc()
+        assert noc.transfer_time(4096, 5, 5) == 0.0
+        assert noc.transfer_time(1 << 20, 0, 15) == (
+            6 * noc.hop_latency + (1 << 20) / noc.link_bw)
+        assert noc.transfer_energy(1024, 0, 15) == (
+            1024 * 6 * noc.energy_per_byte_hop)
+
+    def test_full_bisection_bandwidth(self):
+        noc = fresh_noc()
+        assert noc.bisection_bandwidth() == 4 * noc.link_bw
+
+
+class TestDegradedMesh:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_routes_avoid_failed_links(self, k, seed):
+        noc = fresh_noc()
+        failed = fail_random_links(noc, k, seed=1000 * k + seed)
+        assert noc.failed_links == frozenset(failed)
+        for src in range(noc.tiles):
+            for dst in range(noc.tiles):
+                try:
+                    path = noc.route(src, dst)
+                except NocUnreachableError as exc:
+                    assert exc.src == src and exc.dst == dst
+                    continue
+                assert_route_well_formed(noc, src, dst, path)
+                # detours never undershoot the Manhattan distance
+                assert len(path) - 1 >= noc.hops(src, dst)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reachability_is_symmetric(self, seed):
+        noc = fresh_noc()
+        fail_random_links(noc, 6, seed=seed)
+        for src in range(noc.tiles):
+            reach = noc.reachable(src)
+            assert src in reach
+            for dst in reach:
+                assert src in noc.reachable(dst)
+
+    def test_detour_lengthens_route(self):
+        noc = fresh_noc()
+        noc.fail_link(0, 1)            # XY route 0 -> 3 starts with 0-1
+        path = noc.route(0, 3)
+        assert_route_well_formed(noc, 0, 3, path)
+        assert len(path) - 1 > noc.hops(0, 3)
+        assert noc.transfer_time(1 << 10, 0, 3) > (
+            3 * noc.hop_latency + (1 << 10) / noc.link_bw)
+
+    def test_unreachable_raises_typed_error(self):
+        noc = fresh_noc()
+        # sever tile 0 completely (corner: two links)
+        noc.fail_link(0, 1)
+        noc.fail_link(0, 4)
+        with pytest.raises(NocUnreachableError):
+            noc.route(0, 15)
+        with pytest.raises(NocUnreachableError):
+            noc.route(15, 0)
+        assert noc.reachable(0) == {0}
+
+    def test_restore_heals_the_route(self):
+        noc = fresh_noc()
+        noc.fail_link(0, 1)
+        noc.fail_link(0, 4)
+        noc.restore_link(0, 4)
+        path = noc.route(0, 3)
+        assert_route_well_formed(noc, 0, 3, path)
+        noc.restore_link(0, 1)
+        assert not noc.degraded
+        assert len(noc.route(0, 3)) - 1 == noc.hops(0, 3)
+
+    def test_bisection_bandwidth_degrades(self):
+        noc = fresh_noc()
+        noc.fail_link(1, 2)            # crosses the vertical cut
+        assert noc.bisection_bandwidth() == 3 * noc.link_bw
+        noc.fail_link(5, 6)
+        assert noc.bisection_bandwidth() == 2 * noc.link_bw
+        noc.fail_link(4, 5)            # does not cross either cut
+        assert noc.bisection_bandwidth() == 2 * noc.link_bw
+
+    def test_fail_link_validates_adjacency(self):
+        noc = fresh_noc()
+        with pytest.raises(ValueError):
+            noc.fail_link(0, 2)
+        with pytest.raises(ValueError):
+            noc.fail_link(0, 16)
+
+    def test_link_health_overlay_is_shared_state(self):
+        noc = fresh_noc()
+        health = LinkHealth()
+        assert not health.degraded
+        noc.fail_link(2, 3)
+        assert noc.health.degraded
+        noc.health.restore_all()
+        assert not noc.degraded

@@ -29,29 +29,50 @@ def make_axpy_plan(system, n=1024, alpha=3.0):
 EXPECTED = np.full(1024, 4.0, np.float32)      # 3*1 + 1
 
 
-class TestTileFailureFallback:
-    def test_failed_tile_degrades_to_host(self):
+class TestTileFailureDegradation:
+    def test_failed_tile_reroutes_instead_of_fallback(self):
         system = make_system(faults=FaultInjector(seed=0))
         system.layer.mark_tile_failed(3)
         plan, _, y = make_axpy_plan(system)
         result = system.runtime.acc_execute(plan)
         np.testing.assert_array_equal(y, EXPECTED)   # still correct
         assert result.time > 0 and result.energy > 0
+        counters = system.runtime.counters
+        assert counters.fallbacks == 0               # stayed accelerated
+        assert counters.availability == 1.0
+        assert counters.degraded_executes == 1
+        assert counters.rerouted_stripes == 1
+        assert system.ledger.total("fallback").time == 0
+        assert system.ledger.total("accelerator").time > 0
+        assert system.ledger.total("reroute").time > 0
+
+    def test_all_tiles_failed_degrades_to_host(self):
+        system = make_system(faults=FaultInjector(seed=0))
+        for vault in range(len(system.layer.tiles)):
+            system.layer.mark_tile_failed(vault)
+        plan, _, y = make_axpy_plan(system)
+        result = system.runtime.acc_execute(plan)
+        np.testing.assert_array_equal(y, EXPECTED)
+        assert result.time > 0
         assert system.runtime.counters.fallbacks == 1
         assert system.ledger.total("fallback").time > 0
         assert system.ledger.total("accelerator").time == 0
         assert "AXPY" in system.ledger.by_label("fallback")
 
-    def test_fallback_disabled_raises(self):
+    def test_fallback_disabled_raises_only_when_no_tile_left(self):
         system = make_system(
             faults=FaultInjector(seed=0),
             policy=ResiliencePolicy(host_fallback=False))
         system.layer.mark_tile_failed(0)
-        plan, _, _ = make_axpy_plan(system)
+        plan, _, y = make_axpy_plan(system)
+        system.runtime.acc_execute(plan)             # degraded, no raise
+        np.testing.assert_array_equal(y, EXPECTED)
+        for vault in range(1, len(system.layer.tiles)):
+            system.layer.mark_tile_failed(vault)
         with pytest.raises(MealibRuntimeError):
             system.runtime.acc_execute(plan)
 
-    def test_injected_tile_failure_is_sticky(self):
+    def test_injected_tile_failures_accumulate_degraded(self):
         system = make_system(
             faults=FaultInjector(seed=0, tile_fail_rate=1.0))
         plan, _, y = make_axpy_plan(system)
@@ -60,9 +81,15 @@ class TestTileFailureFallback:
         # y accumulates: 1 + 3 + 3 across the two executes
         np.testing.assert_array_equal(y, np.full(1024, 7.0, np.float32))
         assert not system.layer.healthy
-        assert len(system.layer.failed_tiles()) == 1
-        assert system.runtime.counters.fallbacks == 2
-        assert system.runtime.counters.availability == 0.0
+        # every execute hard-fails one more tile, but both still ran
+        # on the surviving tiles
+        assert len(system.layer.failed_tiles()) == 2
+        counters = system.runtime.counters
+        assert counters.fallbacks == 0
+        assert counters.availability == 1.0
+        assert counters.degraded_executes == 2
+        assert counters.rerouted_stripes == 1 + 2
+        assert len(system.layer.serving_tiles()) == 14
 
     def test_functional_false_skips_numerics(self):
         system = make_system(faults=FaultInjector(seed=0))
@@ -71,7 +98,8 @@ class TestTileFailureFallback:
         result = system.runtime.acc_execute(plan, functional=False)
         np.testing.assert_array_equal(y, np.ones(1024, np.float32))
         assert result.time > 0
-        assert system.ledger.total("fallback").time > 0
+        assert system.ledger.total("fallback").time == 0
+        assert system.ledger.total("reroute").time > 0
 
 
 class TestWatchdogAndRetry:

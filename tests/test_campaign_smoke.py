@@ -1,0 +1,77 @@
+"""Smoke test for the fault-campaign bench entry point.
+
+Runs ``benchmarks/bench_fault_campaign.py`` main with a tiny sweep and
+asserts the JSON output keeps its schema and that availability
+declines monotonically as tiles die.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_fault_campaign as campaign  # noqa: E402
+
+POINT_KEYS = {
+    "availability", "degraded_fraction", "retries", "fallbacks",
+    "rerouted_stripes", "ecc_corrections", "overhead",
+    "reroute_share", "total_time", "total_energy",
+}
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("campaign") / "campaign.json"
+    rc = campaign.main(["--dead-tiles", "0", "1", "16",
+                        "--failed-links", "0", "1",
+                        "--executes", "3", "--json", str(out)])
+    assert rc == 0
+    with out.open() as fh:
+        return json.load(fh)
+
+
+def test_schema_is_stable(payload):
+    assert payload["schema"] == campaign.SCHEMA
+    assert set(payload) == {"schema", "executes", "seed", "rate_sweep",
+                            "tile_kill", "link_failure", "link_flap"}
+    for point in payload["rate_sweep"]:
+        assert set(point) == POINT_KEYS | {"intensity", "detection"}
+    for point in payload["tile_kill"]:
+        assert set(point) == POINT_KEYS | {"dead_tiles",
+                                           "serving_tiles"}
+    for point in payload["link_failure"] + [payload["link_flap"]]:
+        assert set(point) == POINT_KEYS | {"failed_links",
+                                           "bisection_gbps",
+                                           "link_flaps"}
+
+
+def test_availability_declines_monotonically(payload):
+    availabilities = [p["availability"] for p in payload["tile_kill"]]
+    assert availabilities == sorted(availabilities, reverse=True)
+    # partial loss keeps the accelerated path; total loss ends it
+    assert availabilities[0] == 1.0
+    assert availabilities[1] == 1.0        # one dead tile: still served
+    assert availabilities[-1] == 0.0       # all sixteen dead: host only
+
+
+def test_link_points_report_bisection(payload):
+    clean, degraded = payload["link_failure"]
+    assert clean["failed_links"] == 0
+    assert degraded["failed_links"] == 1
+    assert degraded["bisection_gbps"] <= clean["bisection_gbps"]
+    assert degraded["availability"] == 1.0
+    flap = payload["link_flap"]
+    assert flap["link_flaps"] == payload["executes"]
+    assert flap["bisection_gbps"] == clean["bisection_gbps"]
+
+
+def test_stdout_mode_round_trips(capsys):
+    rc = campaign.main(["--dead-tiles", "0", "--failed-links", "0",
+                        "--executes", "1", "--json", "-"])
+    assert rc == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["schema"] == campaign.SCHEMA

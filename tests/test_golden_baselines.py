@@ -1,0 +1,129 @@
+"""Golden fault-free regression baselines.
+
+Runs a fixed workload matrix (DOT, AXPY, GEMV, SPMV, FFT, RESMP at
+three sizes) through a pristine :class:`MealibSystem` and asserts the
+modelled time, energy and ledger totals match the checked-in JSON
+*exactly* — bit-for-bit and joule-for-joule. Any PR that drifts the
+calibrated fault-free model must regenerate the baselines on purpose:
+
+    PYTHONPATH=src python tests/test_golden_baselines.py
+
+The fault paths (reroute, retry, fallback) are free to grow; this
+suite pins the path every paper figure is built on.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import MealibSystem, ParamStore
+from repro.eval.workloads import TABLE2
+
+GOLDEN_PATH = Path(__file__).parent / "golden_baselines.json"
+
+SCHEMA = "golden-baselines/v1"
+
+#: The pinned workload matrix: op x data-set scale.
+OPS = ("DOT", "AXPY", "GEMV", "SPMV", "FFT", "RESMP")
+SCALES = (0.004, 0.016, 0.064)
+
+#: Ledger categories that must stay exactly zero on a fault-free run.
+RESILIENCE_CATEGORIES = ("fault", "retry", "reroute", "fallback")
+
+#: Ledger categories recorded in the golden file.
+LEDGER_CATEGORIES = ("invocation", "accelerator")
+
+
+def run_workload(op: str, scale: float):
+    """One op at one scale on a fresh, fault-free system."""
+    system = MealibSystem(stack_bytes=64 << 20)
+    params = TABLE2[op].params(scale)
+    core = system.layer.accelerator(op)
+    streams = core.streams(params)
+    in_size = sum(s.total_bytes for s in streams if not s.is_write)
+    out_size = sum(s.total_bytes for s in streams if s.is_write)
+    store = ParamStore()
+    store.add("w.para", params.pack())
+    plan = system.runtime.acc_plan(
+        f"PASS {{ COMP {op} w.para }}", store,
+        in_size=in_size, out_size=out_size)
+    result = system.runtime.acc_execute(plan, functional=False)
+    for category in RESILIENCE_CATEGORIES:
+        total = system.ledger.total(category)
+        assert total.time == 0.0 and total.energy == 0.0, (
+            f"fault-free {op}@{scale} leaked into {category!r}")
+    ledger = {}
+    for category in LEDGER_CATEGORIES:
+        total = system.ledger.total(category)
+        ledger[category] = [total.time, total.energy]
+    return {"time": result.time, "energy": result.energy,
+            "ledger": ledger}
+
+
+def compute_baselines():
+    return {
+        "schema": SCHEMA,
+        "note": ("Exact fault-free time/energy/ledger values. "
+                 "Regenerate deliberately with: PYTHONPATH=src python "
+                 "tests/test_golden_baselines.py"),
+        "workloads": {f"{op}@{scale}": run_workload(op, scale)
+                      for op in OPS for scale in SCALES},
+    }
+
+
+def load_golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing — regenerate with: PYTHONPATH=src "
+        "python tests/test_golden_baselines.py")
+    return load_golden()
+
+
+def test_schema_and_coverage(golden):
+    assert golden["schema"] == SCHEMA
+    expected = {f"{op}@{scale}" for op in OPS for scale in SCALES}
+    assert set(golden["workloads"]) == expected
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("op", OPS)
+def test_fault_free_model_matches_golden_exactly(golden, op, scale):
+    recorded = golden["workloads"][f"{op}@{scale}"]
+    fresh = run_workload(op, scale)
+    # exact float equality on purpose: JSON round-trips IEEE doubles
+    # losslessly, so any mismatch is genuine model drift
+    assert fresh["time"] == recorded["time"], (
+        f"{op}@{scale} time drifted: {fresh['time']!r} != "
+        f"{recorded['time']!r}")
+    assert fresh["energy"] == recorded["energy"], (
+        f"{op}@{scale} energy drifted: {fresh['energy']!r} != "
+        f"{recorded['energy']!r}")
+    for category in LEDGER_CATEGORIES:
+        assert fresh["ledger"][category] == recorded["ledger"][category], (
+            f"{op}@{scale} ledger[{category}] drifted")
+
+
+def test_runs_are_reproducible_within_session():
+    assert run_workload("AXPY", SCALES[0]) == run_workload(
+        "AXPY", SCALES[0])
+
+
+def main(argv=None):
+    baselines = compute_baselines()
+    with GOLDEN_PATH.open("w") as fh:
+        json.dump(baselines, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(baselines['workloads'])} baselines "
+          f"to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
