@@ -1,0 +1,29 @@
+
+// SAR image formation: range interpolation + azimuth FFT
+#define N 64
+#define BLOCKS 64
+
+float *knots;
+float *sites;
+complex *range_lines;
+complex *interp;
+complex *image;
+fftwf_plan plan_az;
+fftw_iodim dims[1] = {{N, 1, 1}};
+fftw_iodim howmany[1] = {{BLOCKS, N, N}};
+
+knots = malloc(sizeof(float) * N);
+sites = malloc(sizeof(float) * BLOCKS * N);
+range_lines = malloc(sizeof(complex) * BLOCKS * N);
+interp = malloc(sizeof(complex) * BLOCKS * N);
+image = malloc(sizeof(complex) * BLOCKS * N);
+
+// range interpolation onto the polar-to-rect grid
+dfsInterpolate1D(BLOCKS, N, knots, range_lines, N, sites, interp);
+
+// azimuth FFT — chained with the interpolation by the compiler
+plan_az = fftwf_plan_guru_dft(1, dims, 1, howmany, interp, image,
+                              FFTW_FORWARD, FFTW_WISDOM_ONLY);
+fftwf_execute(plan_az);
+
+free(range_lines);

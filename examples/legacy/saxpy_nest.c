@@ -1,0 +1,13 @@
+/* A detector update: an OpenMP nest of saxpy calls the compiler
+ * collapses into one looped accelerator descriptor. */
+#define L 32
+#define B 24
+#define MF 128
+float det_in[L][B][MF];
+float det_out[L][B][MF];
+#pragma omp parallel for
+for (l = 0; l < L; l++) {
+  for (b = 0; b < B; b++) {
+    cblas_saxpy(MF, 1.0, &det_in[l][b][0], 1, &det_out[l][b][0], 1);
+  }
+}

@@ -1,0 +1,76 @@
+
+// STAP: Space-Time Adaptive Processing (PERFECT), MKL+FFTW+OpenMP
+#define N_PULSE 32
+#define N_CR 64
+#define N_DOP 4
+#define N_BLOCKS 2
+#define TDOF 16
+#define N_STEERING 4
+#define TBS 24
+#define DET_CHUNK 192
+
+complex *datacube;
+complex *pulse_major;
+complex *doppler;
+complex snapshots[N_DOP][N_BLOCKS][TDOF][TBS];
+complex cov[N_DOP][N_BLOCKS][TDOF][TDOF];
+complex wts[N_DOP][N_BLOCKS][N_STEERING][TDOF];
+complex prods[N_DOP][N_BLOCKS][N_STEERING][TBS];
+float det_in[N_DOP][N_BLOCKS][DET_CHUNK];
+float det_out[N_DOP][N_BLOCKS][DET_CHUNK];
+fftwf_plan plan_ct;
+fftwf_plan plan_fft;
+fftw_iodim howmany_ct[2] = {{N_PULSE, N_CR, 1}, {N_CR, 1, N_PULSE}};
+fftw_iodim dims[1] = {{N_PULSE, 1, 1}};
+fftw_iodim howmany_fft[1] = {{N_CR, N_PULSE, N_PULSE}};
+int dop;
+int block;
+int sv;
+int cell;
+
+// data allocation
+datacube = malloc(sizeof(complex) * N_PULSE * N_CR);
+pulse_major = malloc(sizeof(complex) * N_CR * N_PULSE);
+doppler = malloc(sizeof(complex) * N_CR * N_PULSE);
+
+// data copy (corner turn) + Doppler FFT: chained by the compiler
+plan_ct = fftwf_plan_guru_dft(0, NULL, 2, howmany_ct,
+                              datacube, pulse_major,
+                              FFTW_FORWARD, FFTW_WISDOM_ONLY);
+plan_fft = fftwf_plan_guru_dft(1, dims, 1, howmany_fft,
+                               pulse_major, doppler,
+                               FFTW_FORWARD, FFTW_WISDOM_ONLY);
+fftwf_execute(plan_ct);
+fftwf_execute(plan_fft);
+
+// covariance estimation + weight solve: compute-bounded, on the host
+for (dop = 0; dop < N_DOP; ++dop) {
+  for (block = 0; block < N_BLOCKS; ++block) {
+    cblas_cherk(TDOF, TBS, 1.0, &snapshots[dop][block][0][0],
+                0.0, &cov[dop][block][0][0]);
+    cpotrf_lower(TDOF, &cov[dop][block][0][0]);
+    cblas_ctrsm_lower(TDOF, N_STEERING, &cov[dop][block][0][0],
+                      &wts[dop][block][0][0]);
+    cblas_ctrsm_upper(TDOF, N_STEERING, &cov[dop][block][0][0],
+                      &wts[dop][block][0][0]);
+  }
+}
+
+// multiple parallel inner products (adaptive weighting)
+#pragma omp parallel for
+for (dop = 0; dop < N_DOP; ++dop)
+  for (block = 0; block < N_BLOCKS; ++block)
+    for (sv = 0; sv < N_STEERING; ++sv)
+      for (cell = 0; cell < TBS; ++cell)
+        cblas_cdotc_sub(TDOF, &wts[dop][block][sv][0], 1,
+                        &snapshots[dop][block][0][cell], TBS,
+                        &prods[dop][block][sv][cell]);
+
+// detection normalisation (vector scaling and accumulate)
+#pragma omp parallel for
+for (dop = 0; dop < N_DOP; ++dop)
+  for (block = 0; block < N_BLOCKS; ++block)
+    cblas_saxpy(DET_CHUNK, 0.5, &det_in[dop][block][0], 1,
+                &det_out[dop][block][0], 1);
+
+free(datacube);

@@ -3,14 +3,17 @@
 from repro.compiler.affine import Affine, AffineError
 from repro.compiler.cast import CParseError, Program, walk_calls
 from repro.compiler.cparser import parse_source
+from repro.compiler.diagnostics import (Diagnostic, DiagnosticReport,
+                                        Severity, SourceLoc)
+from repro.compiler.errors import AnalysisRejected, CompilerError
 from repro.compiler.interp import (ArrayRef, InterpError, RunOutcome,
                                    run_original, run_translated)
 from repro.compiler.passes import (ChainStep, DescriptorStep, chain_pass,
                                    group_descriptors, optimize)
 from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
                                        HostCallStep, ParamsProto,
-                                       RecognizerError, Schedule,
-                                       recognize)
+                                       PlanDestroyStep, RecognizerError,
+                                       Schedule, recognize)
 from repro.compiler.semantics import (BufferInfo, CompileEnv, PlanSpec,
                                       SemanticError, build_env)
 from repro.compiler.translate import (HOST_CALL_OVERHEAD_S,
@@ -19,10 +22,12 @@ from repro.compiler.translate import (HOST_CALL_OVERHEAD_S,
 
 __all__ = [
     "Affine", "AffineError", "CParseError", "Program", "walk_calls",
-    "parse_source", "ArrayRef", "InterpError", "RunOutcome",
-    "run_original", "run_translated", "ChainStep", "DescriptorStep",
-    "chain_pass", "group_descriptors", "optimize", "AccelCallStep",
-    "AllocStep", "FreeStep", "HostCallStep", "ParamsProto",
+    "parse_source", "Diagnostic", "DiagnosticReport", "Severity",
+    "SourceLoc", "AnalysisRejected", "CompilerError", "ArrayRef",
+    "InterpError", "RunOutcome", "run_original", "run_translated",
+    "ChainStep", "DescriptorStep", "chain_pass", "group_descriptors",
+    "optimize", "AccelCallStep", "AllocStep", "FreeStep",
+    "HostCallStep", "ParamsProto", "PlanDestroyStep",
     "RecognizerError", "Schedule", "recognize", "BufferInfo",
     "CompileEnv", "PlanSpec", "SemanticError", "build_env",
     "HOST_CALL_OVERHEAD_S", "TranslatedProgram", "step_profile",

@@ -1,0 +1,293 @@
+"""Alias and overlap analysis over accelerated-call address fields.
+
+Every accelerated call carries a :class:`ParamsProto` whose address
+fields are affine byte offsets in the enclosing loop variables. This
+module turns each field into a byte *interval* ``[offset, offset +
+extent)`` and answers two questions:
+
+* within one invocation, do a written field and another field of the
+  same buffer overlap (in-place aliasing, MEA002)?
+* across two different iterations of the collapsed loop nest, can a
+  written interval touch an interval of the same buffer (loop-carried
+  dependence, MEA005)?
+
+Disjointness across iterations is proved with a mixed-radix argument:
+sort the loop variables by |stride|; if each stride covers the whole
+span accumulated so far, distinct iteration vectors map to disjoint
+intervals. When the proof does not apply, small iteration spaces are
+enumerated exactly; otherwise the answer is ``unknown`` and the caller
+must be conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.compiler.affine import Affine
+from repro.compiler.semantics import CompileEnv
+
+#: Address fields each accelerator writes / reads.
+WRITE_FIELDS = {
+    "AXPY": ("y_pa",),
+    "DOT": ("out_pa",),
+    "GEMV": ("y_pa",),
+    "SPMV": ("y_pa",),
+    "RESMP": ("out_pa",),
+    "FFT": ("dst_pa",),
+    "RESHP": ("dst_pa",),
+}
+READ_FIELDS = {
+    "AXPY": ("x_pa", "y_pa"),
+    "DOT": ("x_pa", "y_pa"),
+    "GEMV": ("a_pa", "x_pa", "y_pa"),
+    "SPMV": ("indptr_pa", "indices_pa", "data_pa", "x_pa"),
+    "RESMP": ("knots_pa", "in_pa", "sites_pa"),
+    "FFT": ("src_pa",),
+    "RESHP": ("src_pa",),
+}
+
+#: Accelerators whose semantics permit *exactly* coincident source and
+#: destination (an in-place transform): the paper's RESHP handles
+#: in-place transposes (mkl_simatcopy) and FFTW supports in-place
+#: plans. Everything else reading and writing the same bytes is UB.
+INPLACE_EXACT_OK = {"RESHP", "FFT"}
+
+#: Enumeration budgets before falling back to interval bounds.
+_MAX_POINTS = 4096          # full iteration-space sweeps
+_MAX_DELTAS = 30000         # iteration-difference sweeps
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    """One address field of an accelerated call, as a byte interval."""
+
+    field: str
+    buffer: str
+    offset: Affine               # byte offset in loop variables
+    extent: int                  # bytes touched per invocation
+    writes: bool
+    reads: bool
+
+
+def _elem(env: CompileEnv, buf: str) -> int:
+    return env.buffers[buf].elem_size
+
+
+def _dot_span(n: int, inc: int, elem: int) -> int:
+    if n <= 0:
+        return 0
+    return ((n - 1) * abs(int(inc)) + 1) * elem
+
+
+def field_extents(accel: str, scalars: Dict[str, Any],
+                  buffers: Dict[str, str],
+                  env: CompileEnv) -> Dict[str, int]:
+    """Bytes each address field touches in a single invocation.
+
+    ``buffers`` maps field name to buffer name (element sizes come
+    from the environment).
+    """
+    e = {f: _elem(env, b) for f, b in buffers.items()}
+    if accel == "AXPY":
+        n = int(scalars["n"])
+        return {"x_pa": n * e["x_pa"], "y_pa": n * e["y_pa"]}
+    if accel == "DOT":
+        n = int(scalars["n"])
+        return {"x_pa": _dot_span(n, scalars["incx"], e["x_pa"]),
+                "y_pa": _dot_span(n, scalars["incy"], e["y_pa"]),
+                "out_pa": e["out_pa"]}
+    if accel == "GEMV":
+        m, n = int(scalars["m"]), int(scalars["n"])
+        return {"a_pa": m * n * e["a_pa"], "x_pa": n * e["x_pa"],
+                "y_pa": m * e["y_pa"]}
+    if accel == "SPMV":
+        rows, cols = int(scalars["rows"]), int(scalars["cols"])
+        nnz = int(scalars["nnz"])
+        return {"indptr_pa": (rows + 1) * e["indptr_pa"],
+                "indices_pa": nnz * e["indices_pa"],
+                "data_pa": nnz * e["data_pa"],
+                "x_pa": cols * e["x_pa"], "y_pa": rows * e["y_pa"]}
+    if accel == "RESMP":
+        blocks = int(scalars["blocks"])
+        n_in, n_out = int(scalars["n_in"]), int(scalars["n_out"])
+        return {"knots_pa": n_in * e["knots_pa"],
+                "in_pa": blocks * n_in * e["in_pa"],
+                "sites_pa": blocks * n_out * e["sites_pa"],
+                "out_pa": blocks * n_out * e["out_pa"]}
+    if accel == "FFT":
+        count = int(scalars["n"]) * int(scalars["batch"])
+        return {"src_pa": count * e["src_pa"],
+                "dst_pa": count * e["dst_pa"]}
+    if accel == "RESHP":
+        span = (int(scalars["rows"]) * int(scalars["cols"])
+                * int(scalars["elem_bytes"]))
+        return {"src_pa": span, "dst_pa": span}
+    raise ValueError(f"unknown accelerator {accel!r}")
+
+
+def step_accesses(step, env: CompileEnv) -> List[FieldAccess]:
+    """The address fields of an AccelCallStep as FieldAccess records."""
+    buffers = {f: b for f, (b, _) in step.proto.addrs.items()}
+    extents = field_extents(step.accel, step.proto.scalars, buffers,
+                            env)
+    writes = set(WRITE_FIELDS[step.accel])
+    reads = set(READ_FIELDS[step.accel])
+    out = []
+    for fld, (buf, offset) in step.proto.addrs.items():
+        out.append(FieldAccess(
+            field=fld, buffer=buf, offset=offset,
+            extent=int(extents.get(fld, 0)),
+            writes=fld in writes, reads=fld in reads))
+    return out
+
+
+# -- interval machinery ------------------------------------------------------
+
+def _intervals_overlap(a_start: int, a_len: int,
+                       b_start: int, b_len: int) -> bool:
+    if a_len <= 0 or b_len <= 0:
+        return False
+    return a_start < b_start + b_len and b_start < a_start + a_len
+
+
+def _affine_range(aff: Affine,
+                  trips_by_var: Dict[str, int]
+                  ) -> Optional[Tuple[int, int]]:
+    """Min/max of the affine over the iteration box (None if unbound)."""
+    lo = hi = aff.const
+    for var, coef in aff.coefs.items():
+        if not coef:
+            continue
+        if var not in trips_by_var:
+            return None
+        span = coef * (trips_by_var[var] - 1)
+        if span > 0:
+            hi += span
+        else:
+            lo += span
+    return lo, hi
+
+
+def _iteration_points(trips_by_var: Dict[str, int]):
+    names = list(trips_by_var)
+    for values in product(*(range(trips_by_var[v]) for v in names)):
+        yield dict(zip(names, values))
+
+
+def _space_size(trips_by_var: Dict[str, int]) -> int:
+    total = 1
+    for t in trips_by_var.values():
+        total *= t
+    return total
+
+
+def same_iteration_relation(a: FieldAccess, b: FieldAccess,
+                            trips_by_var: Dict[str, int]) -> str:
+    """Relation of two fields within one invocation.
+
+    Returns ``"disjoint"``, ``"exact"`` (identical interval),
+    ``"overlap"``, or ``"unknown"``.
+    """
+    diff = b.offset.sub(a.offset)
+    if diff.is_constant:
+        d = diff.const
+        if d == 0 and a.extent == b.extent:
+            return "exact"
+        return ("overlap" if _intervals_overlap(0, a.extent, d,
+                                                b.extent)
+                else "disjoint")
+    if _space_size(trips_by_var) <= _MAX_POINTS:
+        for point in _iteration_points(trips_by_var):
+            if _intervals_overlap(a.offset.evaluate(point), a.extent,
+                                  b.offset.evaluate(point), b.extent):
+                return "overlap"
+        return "disjoint"
+    ra = _affine_range(a.offset, trips_by_var)
+    rb = _affine_range(b.offset, trips_by_var)
+    if ra is not None and rb is not None and not _intervals_overlap(
+            ra[0], ra[1] - ra[0] + a.extent,
+            rb[0], rb[1] - rb[0] + b.extent):
+        return "disjoint"
+    return "unknown"
+
+
+def _mixed_radix_disjoint(offset: Affine, extent: int,
+                          trips_by_var: Dict[str, int]
+                          ) -> Optional[bool]:
+    """Mixed-radix proof that distinct iterations yield disjoint
+    intervals. True = proven disjoint, False = proven overlapping,
+    None = the argument does not apply."""
+    if extent <= 0:
+        return True
+    active = []
+    for var, trip in trips_by_var.items():
+        if trip <= 1:
+            continue
+        coef = offset.coef(var)
+        if coef == 0:
+            return False          # two iterations share the interval
+        active.append((abs(coef), trip))
+    span = extent
+    for coef, trip in sorted(active):
+        if coef < span:
+            return None           # strides interleave; proof fails
+        span = coef * (trip - 1) + span
+    return True
+
+
+def cross_iteration_overlap(w: FieldAccess, f: FieldAccess,
+                            trips_by_var: Dict[str, int]) -> str:
+    """Can ``w`` in one iteration touch ``f`` in a *different* one?
+
+    Returns ``"disjoint"``, ``"overlap"``, or ``"unknown"``. Callers
+    must treat ``unknown`` conservatively (assume a dependence).
+    """
+    if not trips_by_var or _space_size(trips_by_var) <= 1:
+        return "disjoint"
+    diff = f.offset.sub(w.offset)
+    if diff.is_constant and diff.const == 0 and w.extent == f.extent:
+        proved = _mixed_radix_disjoint(w.offset, w.extent,
+                                       trips_by_var)
+        if proved is not None:
+            return "disjoint" if proved else "overlap"
+    if diff.is_constant:
+        # common stride vector: scan iteration differences
+        names = [v for v, t in trips_by_var.items() if t > 1]
+        size = 1
+        for v in names:
+            size *= 2 * trips_by_var[v] - 1
+        if size <= _MAX_DELTAS:
+            coefs = [w.offset.coef(v) for v in names]
+            d = diff.const
+            for deltas in product(*(
+                    range(-(trips_by_var[v] - 1), trips_by_var[v])
+                    for v in names)):
+                if not any(deltas):
+                    continue
+                shift = d + sum(c * dv for c, dv in zip(coefs,
+                                                        deltas))
+                if _intervals_overlap(0, w.extent, shift, f.extent):
+                    return "overlap"
+            return "disjoint"
+    total = _space_size(trips_by_var)
+    if total * total <= _MAX_POINTS:
+        points = list(_iteration_points(trips_by_var))
+        for i, pi in enumerate(points):
+            wi = w.offset.evaluate(pi)
+            for j, pj in enumerate(points):
+                if i == j:
+                    continue
+                if _intervals_overlap(wi, w.extent,
+                                      f.offset.evaluate(pj),
+                                      f.extent):
+                    return "overlap"
+        return "disjoint"
+    rw = _affine_range(w.offset, trips_by_var)
+    rf = _affine_range(f.offset, trips_by_var)
+    if rw is not None and rf is not None and not _intervals_overlap(
+            rw[0], rw[1] - rw[0] + w.extent,
+            rf[0], rf[1] - rf[0] + f.extent):
+        return "disjoint"
+    return "unknown"

@@ -1,0 +1,175 @@
+"""Worklist dataflow solvers over the CFG.
+
+Two instances power the safety rules:
+
+* **Reaching lifecycle** (forward, may): which ``alloc``/``free``/
+  ``plan_kill`` events can reach a program point. Use-before-init,
+  use-after-free, double-free, and execute-after-destroy are all
+  queries against these facts.
+* **Liveness** (backward, may): which buffers are still referenced at
+  or after a program point. A heap buffer that is dead immediately
+  after its ``malloc`` is never consumed (MEA007).
+
+Facts are frozensets of hashable tokens, so the merge is plain set
+union and termination follows from the finite token universe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.compiler.analysis.cfg import Cfg
+from repro.compiler.analysis.events import BufferEvent, stmt_events
+from repro.compiler.semantics import CompileEnv
+
+Facts = FrozenSet[Tuple[str, str]]
+Transfer = Callable[[int, Facts], Facts]
+
+EMPTY: Facts = frozenset()
+
+
+def solve_forward(cfg: Cfg, transfer: Transfer,
+                  init: Facts = EMPTY) -> Tuple[Dict[int, Facts],
+                                                Dict[int, Facts]]:
+    """Iterate ``out[b] = transfer(b, union(out[preds]))`` to fixpoint."""
+    in_facts: Dict[int, Facts] = {b.bid: EMPTY for b in cfg.blocks}
+    out_facts: Dict[int, Facts] = {b.bid: EMPTY for b in cfg.blocks}
+    in_facts[cfg.entry] = init
+    out_facts[cfg.entry] = transfer(cfg.entry, init)
+    order = cfg.rpo()
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            if bid == cfg.entry:
+                continue
+            merged: Facts = frozenset().union(
+                *(out_facts[p] for p in cfg.block(bid).preds)) \
+                if cfg.block(bid).preds else EMPTY
+            new_out = transfer(bid, merged)
+            if merged != in_facts[bid] or new_out != out_facts[bid]:
+                in_facts[bid] = merged
+                out_facts[bid] = new_out
+                changed = True
+    return in_facts, out_facts
+
+
+def solve_backward(cfg: Cfg, transfer: Transfer,
+                   init: Facts = EMPTY) -> Tuple[Dict[int, Facts],
+                                                 Dict[int, Facts]]:
+    """Iterate ``in[b] = transfer(b, union(in[succs]))`` to fixpoint.
+
+    Returns ``(in_facts, out_facts)`` where ``out`` is the merged
+    successor state the transfer consumed.
+    """
+    in_facts: Dict[int, Facts] = {b.bid: EMPTY for b in cfg.blocks}
+    out_facts: Dict[int, Facts] = {b.bid: EMPTY for b in cfg.blocks}
+    order = list(reversed(cfg.rpo()))
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            merged: Facts = frozenset().union(
+                *(in_facts[s] for s in cfg.block(bid).succs)) \
+                if cfg.block(bid).succs else init
+            new_in = transfer(bid, merged)
+            if merged != out_facts[bid] or new_in != in_facts[bid]:
+                out_facts[bid] = merged
+                in_facts[bid] = new_in
+                changed = True
+    return in_facts, out_facts
+
+
+class LifecycleFacts:
+    """Reaching alloc/free/plan-death facts at every statement.
+
+    Fact tokens: ``("alloc", buf)``, ``("free", buf)``,
+    ``("plan_dead", plan)``. ``alloc`` and ``free`` kill each other, so
+    at any point the facts name the possible lifecycle states of each
+    buffer along some path.
+    """
+
+    def __init__(self, cfg: Cfg, env: CompileEnv):
+        self.cfg = cfg
+        self.env = env
+        self._events: Dict[int, List[List[BufferEvent]]] = {
+            b.bid: [stmt_events(s, env) for s in b.stmts]
+            for b in cfg.blocks}
+        self.block_in, self.block_out = solve_forward(
+            cfg, self._transfer)
+
+    @staticmethod
+    def apply_event(facts: Facts, ev: BufferEvent) -> Facts:
+        if ev.kind == "alloc":
+            return (facts - {("free", ev.name)}) | {("alloc", ev.name)}
+        if ev.kind == "free":
+            return (facts - {("alloc", ev.name)}) | {("free", ev.name)}
+        if ev.kind == "plan_make":
+            return facts - {("plan_dead", ev.name)}
+        if ev.kind == "plan_kill":
+            return facts | {("plan_dead", ev.name)}
+        return facts
+
+    def _transfer(self, bid: int, facts: Facts) -> Facts:
+        for ev_list in self._events[bid]:
+            for ev in ev_list:
+                facts = self.apply_event(facts, ev)
+        return facts
+
+    def walk(self, visit: Callable[[BufferEvent, Facts], None]) -> None:
+        """Replay every event once with the facts *before* it.
+
+        Blocks are visited in reverse post-order with their fixpoint
+        IN facts, so the facts seen include everything loops carry
+        around; each event site is reported exactly once.
+        """
+        for bid in self.cfg.rpo():
+            facts = self.block_in[bid]
+            for ev_list in self._events[bid]:
+                for ev in ev_list:
+                    visit(ev, facts)
+                    facts = self.apply_event(facts, ev)
+
+
+class Liveness:
+    """Backward may-liveness of buffer references.
+
+    A buffer is *live* at a point if some later statement reads,
+    writes, or takes the address of it. Fact tokens: ``("live", buf)``.
+    """
+
+    def __init__(self, cfg: Cfg, env: CompileEnv):
+        self.cfg = cfg
+        self.env = env
+        self._events: Dict[int, List[List[BufferEvent]]] = {
+            b.bid: [stmt_events(s, env) for s in b.stmts]
+            for b in cfg.blocks}
+        self.block_in, self.block_out = solve_backward(
+            cfg, self._transfer)
+
+    @staticmethod
+    def _refs(events: Iterable[BufferEvent]) -> Facts:
+        return frozenset(("live", ev.name) for ev in events
+                         if ev.kind in ("read", "write", "ref"))
+
+    def _transfer(self, bid: int, facts: Facts) -> Facts:
+        for ev_list in self._events[bid]:
+            facts = facts | self._refs(ev_list)
+        return facts
+
+    def live_after_alloc(self, bid: int, stmt_idx: int,
+                         buffer: str) -> bool:
+        """Is ``buffer`` referenced anywhere after this statement?"""
+        events = self._events[bid]
+        for ev_list in events[stmt_idx + 1:]:
+            if ("live", buffer) in self._refs(ev_list):
+                return True
+        return ("live", buffer) in self.block_out[bid]
+
+    def alloc_sites(self):
+        """Yield ``(bid, stmt_idx, event)`` for every alloc event."""
+        for bid, per_stmt in self._events.items():
+            for idx, ev_list in enumerate(per_stmt):
+                for ev in ev_list:
+                    if ev.kind == "alloc":
+                        yield bid, idx, ev

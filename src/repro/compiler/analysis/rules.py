@@ -1,0 +1,230 @@
+"""The offload-safety rule engine.
+
+Runs the dataflow and alias analyses over a parsed program and its
+recognizer schedule, and emits stable diagnostic codes:
+
+========  ========================================================
+MEA001    buffer used before ``malloc`` initialised it
+MEA002    in-place alias between fields of an accelerated call
+MEA003    buffer used after ``free``
+MEA004    double ``free``
+MEA005    loop-carried dependence blocks OpenMP collapse
+MEA006    FFTW plan executed after ``fftwf_destroy_plan``
+MEA007    heap buffer allocated but never consumed (warning)
+========  ========================================================
+
+``error`` findings split two ways: alias/dependence errors (MEA002,
+MEA005) *demote* the accelerated call back to the host library — the
+program still runs, just without the unsound offload — while lifecycle
+errors (MEA001/003/004/006) describe a program that is wrong on any
+target and therefore reject it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compiler.analysis.alias import (INPLACE_EXACT_OK,
+                                           cross_iteration_overlap,
+                                           same_iteration_relation,
+                                           step_accesses)
+from repro.compiler.analysis.cfg import Cfg, build_cfg
+from repro.compiler.analysis.dataflow import LifecycleFacts, Liveness
+from repro.compiler.analysis.events import BufferEvent
+from repro.compiler.cast import Program
+from repro.compiler.diagnostics import (Diagnostic, DiagnosticReport,
+                                        Severity)
+from repro.compiler.recognizer import AccelCallStep, Schedule
+
+#: Error codes that demote the accelerated call to host execution.
+DEMOTE_CODES = frozenset({"MEA002", "MEA005"})
+#: Error codes that reject the program outright (wrong on any target).
+REJECT_CODES = frozenset({"MEA001", "MEA003", "MEA004", "MEA006"})
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    program: Program
+    schedule: Schedule
+    report: DiagnosticReport
+
+    @property
+    def ok(self) -> bool:
+        return not self.report.has_errors
+
+
+# -- lifecycle rules (MEA001/003/004/006) ------------------------------------
+
+def _check_lifecycle(cfg: Cfg, schedule: Schedule,
+                     report: DiagnosticReport) -> None:
+    env = schedule.env
+    lifecycle = LifecycleFacts(cfg, env)
+    seen: Set[Tuple] = set()
+
+    def emit(code: str, message: str, ev: BufferEvent) -> None:
+        key = (code, ev.name, ev.loc)
+        if key in seen:
+            return
+        seen.add(key)
+        report.add(Diagnostic(code=code, severity=Severity.ERROR,
+                              message=message, loc=ev.loc,
+                              buffers=(ev.name,)))
+
+    def visit(ev: BufferEvent, facts) -> None:
+        if ev.kind in ("read", "write", "ref"):
+            info = env.buffers.get(ev.name)
+            if info is None or not info.heap:
+                return                  # declared arrays are always live
+            if ("free", ev.name) in facts:
+                emit("MEA003",
+                     f"buffer {ev.name!r} is used after free()", ev)
+            elif ("alloc", ev.name) not in facts:
+                emit("MEA001",
+                     f"buffer {ev.name!r} is used before malloc() "
+                     "initialises it", ev)
+        elif ev.kind == "free":
+            if ("free", ev.name) in facts:
+                emit("MEA004",
+                     f"buffer {ev.name!r} is freed twice", ev)
+        elif ev.kind == "plan_use":
+            if ("plan_dead", ev.name) in facts:
+                emit("MEA006",
+                     f"plan {ev.name!r} is executed after "
+                     "fftwf_destroy_plan()", ev)
+
+    lifecycle.walk(visit)
+
+
+def _check_dead_buffers(cfg: Cfg, schedule: Schedule,
+                        report: DiagnosticReport) -> None:
+    liveness = Liveness(cfg, schedule.env)
+    for bid, idx, ev in liveness.alloc_sites():
+        if not liveness.live_after_alloc(bid, idx, ev.name):
+            report.add(Diagnostic(
+                code="MEA007", severity=Severity.WARNING,
+                message=f"buffer {ev.name!r} is allocated but never "
+                        "consumed", loc=ev.loc, buffers=(ev.name,)))
+
+
+# -- alias / dependence rules (MEA002/005) -----------------------------------
+
+def _check_step_aliasing(step: AccelCallStep, step_index: int,
+                         schedule: Schedule,
+                         report: DiagnosticReport) -> None:
+    env = schedule.env
+    accesses = step_accesses(step, env)
+    trips_by_var = dict(zip(step.loop_vars, step.trips))
+    writes = [a for a in accesses if a.writes]
+    seen: Set[Tuple] = set()
+
+    def emit(code: str, message: str, fields: Tuple[str, ...],
+             buffers: Tuple[str, ...]) -> None:
+        key = (code, step_index, tuple(sorted(fields)))
+        if key in seen:
+            return
+        seen.add(key)
+        report.add(Diagnostic(code=code, severity=Severity.ERROR,
+                              message=message, loc=step.loc,
+                              buffers=buffers, step_index=step_index))
+
+    for w in writes:
+        for other in accesses:
+            if other.field == w.field or other.buffer != w.buffer:
+                continue
+            rel = same_iteration_relation(w, other, trips_by_var)
+            if rel == "exact" and step.accel in INPLACE_EXACT_OK:
+                continue
+            if rel in ("exact", "overlap", "unknown"):
+                detail = ("aliases" if rel != "unknown"
+                          else "may alias")
+                emit("MEA002",
+                     f"{step.accel} output {w.field} {detail} "
+                     f"{other.field} on buffer {w.buffer!r} "
+                     "(in-place operation is not supported by this "
+                     "accelerator)", (w.field, other.field),
+                     (w.buffer,))
+
+    if not step.looped:
+        return
+    for w in writes:
+        checked: Set[Tuple] = set()
+        for other in accesses:
+            if other.buffer != w.buffer:
+                continue
+            pair_key = tuple(sorted({w.field, other.field}))
+            if pair_key in checked:
+                continue
+            checked.add(pair_key)
+            rel = cross_iteration_overlap(w, other, trips_by_var)
+            if rel == "disjoint":
+                continue
+            detail = ("carries a dependence across iterations"
+                      if rel == "overlap"
+                      else "cannot be proven iteration-independent")
+            fields = (w.field,) if other.field == w.field \
+                else (w.field, other.field)
+            emit("MEA005",
+                 f"{step.accel} write to {w.field} on buffer "
+                 f"{w.buffer!r} {detail}; OpenMP collapse is unsafe",
+                 fields, (w.buffer,))
+
+
+# -- entry points ------------------------------------------------------------
+
+def check_program(program: Program,
+                  schedule: Schedule) -> DiagnosticReport:
+    """Run every safety rule; returns the full report."""
+    report = DiagnosticReport()
+    cfg = build_cfg(program)
+    _check_lifecycle(cfg, schedule, report)
+    _check_dead_buffers(cfg, schedule, report)
+    for idx, step in enumerate(schedule.steps):
+        if isinstance(step, AccelCallStep):
+            _check_step_aliasing(step, idx, schedule, report)
+    return report
+
+
+def analyze_source(source: str) -> AnalysisResult:
+    """Parse, recognize, and check a C-subset program."""
+    from repro.compiler.cparser import parse_source
+    from repro.compiler.recognizer import recognize
+
+    program = parse_source(source)
+    schedule = recognize(program)
+    report = check_program(program, schedule)
+    return AnalysisResult(program=program, schedule=schedule,
+                          report=report)
+
+
+def apply_demotions(schedule: Schedule, report: DiagnosticReport
+                    ) -> Tuple[Schedule, List[int]]:
+    """Demote accel steps flagged by MEA002/MEA005 to host calls.
+
+    Returns the (possibly new) schedule and the demoted step indices.
+    """
+    to_demote: Set[int] = set()
+    for diag in report:
+        if diag.code in DEMOTE_CODES \
+                and diag.severity is Severity.ERROR \
+                and diag.step_index is not None:
+            to_demote.add(diag.step_index)
+    if not to_demote:
+        return schedule, []
+    steps = []
+    demoted: List[int] = []
+    for idx, step in enumerate(schedule.steps):
+        if idx in to_demote and isinstance(step, AccelCallStep):
+            steps.append(step.demote())
+            demoted.append(idx)
+        else:
+            steps.append(step)
+    return Schedule(env=schedule.env, steps=steps), demoted
+
+
+def rejection_errors(report: DiagnosticReport) -> List[Diagnostic]:
+    """The findings that make the program unrunnable on any target."""
+    return [d for d in report
+            if d.code in REJECT_CODES and d.severity is Severity.ERROR]

@@ -1,0 +1,83 @@
+"""Command-line front end for the offload-safety analyzer.
+
+Usage::
+
+    python -m repro.compiler.analyze prog.c [prog2.c ...] [--json]
+
+Each file is parsed, recognized, and run through the full rule battery
+(:mod:`repro.compiler.analysis`). Findings print one per line in the
+classic ``file:line:col: severity: CODE title: message`` shape, or as
+one JSON report per file with ``--json``. The exit status is 1 when
+any file produced an error-severity finding (or failed to compile at
+all), 0 otherwise — so the analyzer can gate CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.compiler.analysis.rules import analyze_source
+from repro.compiler.cast import CParseError
+from repro.compiler.diagnostics import (Diagnostic, DiagnosticReport,
+                                        Severity)
+from repro.compiler.errors import CompilerError
+
+
+def _report_for(source: str) -> DiagnosticReport:
+    """Analyze one source text, folding front-end failures into the
+    report as diagnostics instead of tracebacks."""
+    try:
+        return analyze_source(source).report
+    except CompilerError as exc:
+        report = DiagnosticReport()
+        report.add(exc.diagnostic)
+        return report
+    except CParseError as exc:
+        report = DiagnosticReport()
+        report.add(Diagnostic(code="MEA010", severity=Severity.ERROR,
+                              message=str(exc)))
+        return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compiler.analyze",
+        description="Prove offload safety of C-subset programs.")
+    parser.add_argument("files", nargs="+",
+                        help="C-subset source files to analyze")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON report per file")
+    args = parser.parse_args(argv)
+
+    failed = False
+    json_out = []
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        report = _report_for(source)
+        if report.has_errors:
+            failed = True
+        if args.json:
+            payload = report.to_dict()
+            payload["file"] = path
+            json_out.append(payload)
+        else:
+            for diag in report:
+                print(f"{path}:{diag.format()}")
+            if not len(report):
+                print(f"{path}: clean (0 diagnostics)")
+    if args.json:
+        print(json.dumps(json_out, indent=2, sort_keys=True))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
+from repro.compiler.diagnostics import SourceLoc
+
 
 class CParseError(Exception):
     """Raised on source the subset grammar cannot express."""
@@ -32,6 +34,10 @@ class Ident:
 class Call:
     func: str
     args: Tuple
+    #: source position of the callee token; excluded from equality so
+    #: structurally identical calls still compare equal.
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
 
 
 @dataclass(frozen=True)
@@ -78,17 +84,23 @@ class VarDecl:
     pointer: bool = False
     dims: Tuple = ()                 # array dimensions (Exprs)
     init: Optional[Expr] = None
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
 
 
 @dataclass(frozen=True)
 class Assign:
     target: Expr
     value: Expr
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
 
 
 @dataclass(frozen=True)
 class ExprStmt:
     expr: Expr
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
 
 
 @dataclass(frozen=True)
@@ -101,6 +113,13 @@ class For:
     step: int
     body: Tuple
     pragma_omp: bool = False
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
+
+
+def stmt_loc(stmt) -> Optional[SourceLoc]:
+    """Source location of any statement node (None if unknown)."""
+    return getattr(stmt, "loc", None)
 
 
 Stmt = Union[VarDecl, Assign, ExprStmt, For]

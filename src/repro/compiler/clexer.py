@@ -29,6 +29,7 @@ class Token:
     kind: str          # 'id' | 'num' | 'op' | 'pragma'
     text: str
     line: int
+    col: int = 0       # 1-based column in the original source line
 
 
 def _strip_comments(source: str) -> str:
@@ -43,17 +44,20 @@ def tokenize(source: str) -> Tuple[List[Token], List[Tuple[str, str]]]:
     defines: List[Tuple[str, str]] = []
     for lineno, raw_line in enumerate(_strip_comments(source).splitlines(),
                                       start=1):
-        line = raw_line.strip()
-        if line.startswith("#define"):
-            parts = line.split(None, 2)
+        line = raw_line
+        stripped = line.strip()
+        if stripped.startswith("#define"):
+            parts = stripped.split(None, 2)
             if len(parts) != 3:
                 raise CParseError(
-                    f"line {lineno}: malformed #define {line!r}")
+                    f"line {lineno}: malformed #define {stripped!r}")
             defines.append((parts[1], parts[2]))
             continue
-        if line.startswith("#pragma"):
-            if "omp" in line and "parallel" in line and "for" in line:
-                tokens.append(Token("pragma", line, lineno))
+        if stripped.startswith("#pragma"):
+            if "omp" in stripped and "parallel" in stripped \
+                    and "for" in stripped:
+                col = len(line) - len(line.lstrip()) + 1
+                tokens.append(Token("pragma", stripped, lineno, col))
             continue
         pos = 0
         while pos < len(line):
@@ -61,24 +65,26 @@ def tokenize(source: str) -> Tuple[List[Token], List[Tuple[str, str]]]:
             if ch.isspace():
                 pos += 1
                 continue
+            col = pos + 1
             id_match = _ID_RE.match(line, pos)
             if id_match:
-                tokens.append(Token("id", id_match.group(0), lineno))
+                tokens.append(Token("id", id_match.group(0), lineno, col))
                 pos = id_match.end()
                 continue
             num_match = _NUM_RE.match(line, pos)
             if num_match:
-                tokens.append(Token("num", num_match.group(0), lineno))
+                tokens.append(Token("num", num_match.group(0), lineno,
+                                    col))
                 pos = num_match.end()
                 continue
             for op in _OPERATORS:
                 if line.startswith(op, pos):
-                    tokens.append(Token("op", op, lineno))
+                    tokens.append(Token("op", op, lineno, col))
                     pos += len(op)
                     break
             else:
                 if ch in _PUNCT:
-                    tokens.append(Token("op", ch, lineno))
+                    tokens.append(Token("op", ch, lineno, col))
                     pos += 1
                 else:
                     raise CParseError(

@@ -8,6 +8,11 @@ from repro.compiler.cast import (AddrOf, Assign, BinOp, Call, CParseError,
                                  Expr, ExprStmt, For, Ident, Index,
                                  InitList, Num, Program, Sizeof, VarDecl)
 from repro.compiler.clexer import Token, parse_number, tokenize
+from repro.compiler.diagnostics import SourceLoc
+
+
+def _loc(tok: Token) -> SourceLoc:
+    return SourceLoc(line=tok.line, col=tok.col)
 
 #: Type keywords the subset understands (with their element sizes; the
 #: semantic layer uses these for sizeof and buffer shapes).
@@ -84,7 +89,8 @@ class _Parser:
                 raise CParseError(
                     f"line {tok.line}: omp pragma must precede a for loop")
             return For(var=loop.var, start=loop.start, bound=loop.bound,
-                       step=loop.step, body=loop.body, pragma_omp=True)
+                       step=loop.step, body=loop.body, pragma_omp=True,
+                       loc=loop.loc or _loc(tok))
         if tok.text == "for":
             return self.parse_for()
         if tok.text == "{":
@@ -101,7 +107,8 @@ class _Parser:
         return self.parse_expr_or_assign()
 
     def parse_decl(self) -> VarDecl:
-        ctype = self.advance().text
+        ctype_tok = self.advance()
+        ctype = ctype_tok.text
         pointer = False
         while self.at("*"):
             self.advance()
@@ -123,7 +130,7 @@ class _Parser:
                     else self.parse_expr())
         self.expect(";")
         return VarDecl(ctype=ctype, name=name_tok.text, pointer=pointer,
-                       dims=tuple(dims), init=init)
+                       dims=tuple(dims), init=init, loc=_loc(ctype_tok))
 
     def parse_init_list(self) -> InitList:
         self.expect("{")
@@ -137,6 +144,8 @@ class _Parser:
         return InitList(items=tuple(items))
 
     def parse_expr_or_assign(self):
+        first = self.peek()
+        loc = _loc(first) if first is not None else None
         expr = self.parse_expr()
         if self.at("="):
             self.advance()
@@ -145,12 +154,12 @@ class _Parser:
             if not isinstance(expr, (Ident, Index)):
                 raise CParseError("assignment target must be a variable "
                                   "or array element")
-            return Assign(target=expr, value=value)
+            return Assign(target=expr, value=value, loc=loc)
         self.expect(";")
-        return ExprStmt(expr=expr)
+        return ExprStmt(expr=expr, loc=loc)
 
     def parse_for(self) -> For:
-        self.expect("for")
+        for_tok = self.expect("for")
         self.expect("(")
         var_tok = self.advance()
         if var_tok.kind != "id":
@@ -181,7 +190,7 @@ class _Parser:
         else:
             body = (self.parse_stmt(),)
         return For(var=var, start=start, bound=bound, step=step,
-                   body=body)
+                   body=body, loc=_loc(for_tok))
 
     def _parse_step(self, var: str) -> int:
         tok = self.advance()
@@ -274,7 +283,8 @@ class _Parser:
                     if self.at(","):
                         self.advance()
                 self.expect(")")
-                return Call(func=tok.text, args=tuple(args))
+                return Call(func=tok.text, args=tuple(args),
+                            loc=_loc(tok))
             return Ident(name=tok.text)
         raise CParseError(f"line {tok.line}: unexpected token "
                           f"{tok.text!r}")

@@ -1,0 +1,160 @@
+"""Structured compiler diagnostics.
+
+Every problem the compiler or the static-analysis framework can report
+is a :class:`Diagnostic`: a stable ``MEA0xx`` code, a severity, a
+message, the buffers involved, and a real source location (line/column
+threaded from the lexer tokens through the parser). Reports aggregate
+diagnostics, render them for humans, and serialise to JSON for CI.
+
+Stable rule codes
+-----------------
+
+========  ========  ====================================================
+code      severity  meaning
+========  ========  ====================================================
+MEA001    error     use of a heap buffer before its ``malloc``
+MEA002    error     in-place alias on an accelerated call
+MEA003    error     use of a buffer after ``free``
+MEA004    error     double ``free``
+MEA005    error     loop-carried dependence blocks OpenMP collapse
+MEA006    error     FFTW plan executed after ``fftwf_destroy_plan``
+MEA007    warning   dead buffer: allocated but never consumed
+MEA010    error     recognition failure (unsupported library use)
+MEA011    error     semantic-analysis failure (non-constant, alias form)
+========  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``ERROR`` blocks offload."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A 1-based (line, column) position in the analysed source."""
+
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        if self.col:
+            return f"line {self.line}, col {self.col}"
+        return f"line {self.line}"
+
+
+#: Human-readable one-liner per stable code (kept in sync with the
+#: table above and DESIGN.md).
+CODE_TITLES: Dict[str, str] = {
+    "MEA001": "use-before-init",
+    "MEA002": "in-place alias on accelerated call",
+    "MEA003": "use-after-free",
+    "MEA004": "double-free",
+    "MEA005": "loop-carried dependence blocks collapse",
+    "MEA006": "FFTW plan executed after destroy",
+    "MEA007": "dead buffer never consumed",
+    "MEA010": "recognition failure",
+    "MEA011": "semantic-analysis failure",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the safety checker or the frontend."""
+
+    code: str
+    severity: Severity
+    message: str
+    loc: Optional[SourceLoc] = None
+    buffers: Tuple[str, ...] = ()
+    #: index of the offending step in the recognizer schedule, when the
+    #: finding is attached to a specific call site (drives demotion).
+    step_index: Optional[int] = None
+
+    @property
+    def title(self) -> str:
+        return CODE_TITLES.get(self.code, self.code)
+
+    def format(self) -> str:
+        where = f"{self.loc}: " if self.loc is not None else ""
+        bufs = (f" [{', '.join(self.buffers)}]" if self.buffers else "")
+        return (f"{where}{self.severity}: {self.code} {self.title}: "
+                f"{self.message}{bufs}")
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "title": self.title,
+            "message": self.message,
+            "buffers": list(self.buffers),
+        }
+        if self.loc is not None:
+            out["line"] = self.loc.line
+            out["col"] = self.loc.col
+        if self.step_index is not None:
+            out["step_index"] = self.step_index
+        return out
+
+
+@dataclass
+class DiagnosticReport:
+    """Ordered collection of diagnostics for one translation unit."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def format(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        return "\n".join(d.format() for d in self.diagnostics)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "mea-analysis/v1",
+            "error_count": len(self.errors()),
+            "warning_count": len(self.warnings()),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -29,7 +29,8 @@ from repro.compiler.cast import (AddrOf, Assign, BinOp, Call, ExprStmt,
                                  For, Ident, Index, Num, Program, Sizeof,
                                  VarDecl)
 from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
-                                       HostCallStep, RecognizerError)
+                                       HostCallStep, PlanDestroyStep,
+                                       RecognizerError)
 from repro.compiler.passes import ChainStep, DescriptorStep
 from repro.compiler.semantics import CompileEnv, SemanticError
 from repro.compiler.translate import (HOST_CALL_OVERHEAD_S,
@@ -281,7 +282,7 @@ class OriginalInterpreter:
             raise InterpError(f"unsupported assignment {stmt!r}")
         if isinstance(stmt, ExprStmt) and isinstance(stmt.expr, Call):
             call = stmt.expr
-            if call.func == "free":
+            if call.func in ("free", "fftwf_destroy_plan"):
                 return                          # buffers kept for output
             self._eval_call(call)
             return
@@ -414,7 +415,7 @@ class TranslatedRunner:
         for item in self.t.items:
             if isinstance(item, AllocStep):
                 self._ensure(item.buffer)
-            elif isinstance(item, FreeStep):
+            elif isinstance(item, (FreeStep, PlanDestroyStep)):
                 pass                        # keep contents for inspection
             elif isinstance(item, HostCallStep):
                 self._run_host(item)
@@ -458,6 +459,13 @@ class TranslatedRunner:
             if kind == "p":
                 name, _ = self.t.env.buffer_address(expr)
                 yield name
+            elif kind == "l":
+                # demoted fftwf_execute: the plan's buffers are touched
+                if isinstance(expr, Ident) \
+                        and expr.name in self.t.env.plans:
+                    plan = self.t.env.plans[expr.name]
+                    yield plan.src
+                    yield plan.dst
 
     # -- descriptors ---------------------------------------------------------------
 

@@ -23,13 +23,21 @@ from repro.accel.resmp import ResmpParams
 from repro.accel.spmv import SpmvParams
 from repro.compiler.affine import Affine, AffineError
 from repro.compiler.cast import (Assign, Call, ExprStmt, For, Ident, Num,
-                                 Program, VarDecl)
+                                 Program, VarDecl, stmt_loc)
+from repro.compiler.diagnostics import SourceLoc
+from repro.compiler.errors import CompilerError
 from repro.compiler.semantics import (BufferInfo, CompileEnv, IoDimSpec,
                                       PlanSpec, SemanticError, build_env)
 
 
-class RecognizerError(Exception):
-    """Raised when a program uses the libraries in unsupported ways."""
+class RecognizerError(CompilerError):
+    """Raised when a program uses the libraries in unsupported ways.
+
+    A typed diagnostic (code ``MEA010``) with an optional source
+    location; ``str(exc)`` keeps the legacy bare-message shape.
+    """
+
+    default_code = "MEA010"
 
 
 # -- schedule steps ----------------------------------------------------------
@@ -37,21 +45,48 @@ class RecognizerError(Exception):
 @dataclass(frozen=True)
 class AllocStep:
     buffer: str
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
 
 
 @dataclass(frozen=True)
 class FreeStep:
     buffer: str
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
+
+
+@dataclass(frozen=True)
+class PlanDestroyStep:
+    """An ``fftwf_destroy_plan`` call — plan lifecycle bookkeeping."""
+
+    plan: str
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
 
 
 @dataclass(frozen=True)
 class HostCallStep:
-    """A compute-bounded library call left on the CPU."""
+    """A compute-bounded library call left on the CPU.
+
+    ``accel``/``proto`` are set when this step is a *demoted*
+    accelerated call (the safety checker proved the offload unsound):
+    the call still runs and is timed on the host library, using the
+    operation profile derived from its parameter prototype.
+    """
 
     func: str
     args: Tuple
     trips: Tuple[int, ...] = ()
     loop_vars: Tuple[str, ...] = ()
+    accel: str = ""
+    proto: Optional["ParamsProto"] = None
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
+
+    @property
+    def demoted(self) -> bool:
+        return bool(self.accel)
 
     @property
     def calls(self) -> int:
@@ -95,7 +130,12 @@ class ParamsProto:
 
 @dataclass(frozen=True)
 class AccelCallStep:
-    """One accelerated call site, possibly looped."""
+    """One accelerated call site, possibly looped.
+
+    ``func``/``args`` keep the original library call so the safety
+    checker can demote the step to a :class:`HostCallStep` when the
+    offload would be unsound.
+    """
 
     accel: str
     proto: ParamsProto
@@ -103,6 +143,17 @@ class AccelCallStep:
     out_bufs: Tuple[str, ...]
     trips: Tuple[int, ...] = ()
     loop_vars: Tuple[str, ...] = ()
+    func: str = ""
+    args: Tuple = ()
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
+
+    def demote(self) -> HostCallStep:
+        """The same call site, kept on the host library."""
+        return HostCallStep(func=self.func, args=self.args,
+                            trips=self.trips, loop_vars=self.loop_vars,
+                            accel=self.accel, proto=self.proto,
+                            loc=self.loc)
 
     @property
     def looped(self) -> bool:
@@ -156,20 +207,27 @@ class Recognizer:
         self.program = program
         self.env = build_env(program)
         self.schedule = Schedule(env=self.env)
+        self._loc: Optional[SourceLoc] = None     # current statement
 
     # -- helpers -------------------------------------------------------------
+
+    def _error(self, message: str, loc: Optional[SourceLoc] = None
+               ) -> RecognizerError:
+        return RecognizerError(message, loc=loc or self._loc)
 
     def _const(self, expr) -> int:
         try:
             return self.env.eval_const(expr)
         except SemanticError as exc:
-            raise RecognizerError(str(exc)) from exc
+            raise self._error(exc.message) from exc
 
     def _addr(self, expr) -> Tuple[str, Affine]:
         try:
             return self.env.buffer_address(expr)
-        except (SemanticError, AffineError) as exc:
-            raise RecognizerError(str(exc)) from exc
+        except SemanticError as exc:
+            raise self._error(exc.message) from exc
+        except AffineError as exc:
+            raise self._error(str(exc)) from exc
 
     def _buffer(self, name: str) -> BufferInfo:
         return self.env.buffers[name]
@@ -182,6 +240,7 @@ class Recognizer:
 
     def _walk(self, stmts, loop_vars, trips) -> None:
         for stmt in stmts:
+            self._loc = stmt_loc(stmt) or self._loc
             if isinstance(stmt, VarDecl):
                 continue                    # handled by build_env
             elif isinstance(stmt, Assign):
@@ -192,46 +251,47 @@ class Recognizer:
             elif isinstance(stmt, For):
                 self._handle_for(stmt, loop_vars, trips)
             else:
-                raise RecognizerError(f"unsupported statement {stmt!r}")
+                raise self._error(f"unsupported statement {stmt!r}")
 
     def _handle_for(self, loop: For, loop_vars, trips) -> None:
         start = self._const(loop.start)
         bound = self._const(loop.bound)
         if start != 0 or loop.step != 1:
-            raise RecognizerError("only canonical 0..N-1 unit-step loops "
+            raise self._error("only canonical 0..N-1 unit-step loops "
                                   "are supported for compaction")
         count = bound
         if count <= 0:
-            raise RecognizerError("loop trip count must be positive")
+            raise self._error("loop trip count must be positive")
         self._walk(loop.body, loop_vars + (loop.var,), trips + (count,))
 
     def _handle_assign(self, stmt: Assign, loop_vars) -> None:
         if loop_vars:
-            raise RecognizerError("assignments inside OpenMP nests are "
+            raise self._error("assignments inside OpenMP nests are "
                                   "not supported")
         value = stmt.value
         if isinstance(value, Call) and value.func == "malloc":
             if not isinstance(stmt.target, Ident):
-                raise RecognizerError("malloc must assign a pointer "
+                raise self._error("malloc must assign a pointer "
                                       "variable")
             buf = self._buffer(stmt.target.name)
             size = self._const(value.args[0])
             buf.count = size // buf.elem_size
-            self.schedule.steps.append(AllocStep(buffer=buf.name))
+            self.schedule.steps.append(
+                AllocStep(buffer=buf.name, loc=stmt.loc))
             return
         if isinstance(value, Call) and value.func == "fftwf_plan_guru_dft":
             if not isinstance(stmt.target, Ident):
-                raise RecognizerError("plan must assign a plan variable")
+                raise self._error("plan must assign a plan variable")
             self._record_plan(stmt.target.name, value)
             return
-        raise RecognizerError(f"unsupported assignment {stmt!r}")
+        raise self._error(f"unsupported assignment {stmt!r}")
 
     # -- plan handling -------------------------------------------------------
 
     def _record_plan(self, name: str, call: Call) -> None:
         args = call.args
         if len(args) != 8:
-            raise RecognizerError("fftwf_plan_guru_dft takes 8 arguments")
+            raise self._error("fftwf_plan_guru_dft takes 8 arguments")
         rank = self._const(args[0])
         dims = self._iodims(args[1], rank)
         howmany_rank = self._const(args[2])
@@ -240,7 +300,7 @@ class Recognizer:
         dst, dst_off = self._addr(args[5])
         sign = self._const(args[6])
         if not src_off.is_constant or not dst_off.is_constant:
-            raise RecognizerError("plan buffers must not depend on loop "
+            raise self._error("plan buffers must not depend on loop "
                                   "variables")
         self.env.plans[name] = PlanSpec(
             name=name, rank=rank, dims=dims, howmany=howmany, src=src,
@@ -253,52 +313,68 @@ class Recognizer:
         if isinstance(expr, Ident) and expr.name in self.env.iodims:
             dims = self.env.iodims[expr.name]
             if len(dims) != rank:
-                raise RecognizerError(
+                raise self._error(
                     f"iodim array {expr.name!r} has {len(dims)} entries, "
                     f"rank says {rank}")
             return dims
-        raise RecognizerError("dims argument must name an fftw_iodim "
+        raise self._error("dims argument must name an fftw_iodim "
                               "array")
 
     # -- call dispatch ----------------------------------------------------------
 
     def _handle_call(self, call: Call, loop_vars, trips) -> None:
         name = call.func
+        loc = call.loc or self._loc
         if name == "free":
             if loop_vars:
-                raise RecognizerError("free inside a loop nest")
+                raise self._error("free inside a loop nest")
             target = call.args[0]
             if not isinstance(target, Ident):
-                raise RecognizerError("free takes a buffer name")
-            self.schedule.steps.append(FreeStep(buffer=target.name))
+                raise self._error("free takes a buffer name")
+            self.schedule.steps.append(
+                FreeStep(buffer=target.name, loc=loc))
+            return
+        if name == "fftwf_destroy_plan":
+            if loop_vars:
+                raise self._error("fftwf_destroy_plan inside a loop "
+                                  "nest")
+            target = call.args[0] if call.args else None
+            if not isinstance(target, Ident):
+                raise self._error("fftwf_destroy_plan takes a plan name")
+            self.schedule.steps.append(
+                PlanDestroyStep(plan=target.name, loc=loc))
             return
         if name in HOST_FUNCTIONS:
             self.schedule.steps.append(HostCallStep(
                 func=name, args=call.args, trips=trips,
-                loop_vars=loop_vars))
+                loop_vars=loop_vars, loc=loc))
             return
         if name not in ACCEL_FUNCTIONS:
-            raise RecognizerError(f"unknown library call {name!r}")
+            raise self._error(f"unknown library call {name!r}")
         builder = getattr(self, f"_build_{name}", None)
         if builder is None:
-            raise RecognizerError(f"no builder for {name!r}")
+            raise self._error(f"no builder for {name!r}")
         step = builder(call, loop_vars, trips)
         self.schedule.steps.append(step)
 
     def _accel_step(self, accel, proto, in_bufs, out_bufs, loop_vars,
-                    trips) -> AccelCallStep:
+                    trips, call: Optional[Call] = None) -> AccelCallStep:
         return AccelCallStep(accel=accel, proto=proto,
                              in_bufs=tuple(in_bufs),
                              out_bufs=tuple(out_bufs),
                              trips=tuple(trips),
-                             loop_vars=tuple(loop_vars))
+                             loop_vars=tuple(loop_vars),
+                             func=call.func if call is not None else "",
+                             args=call.args if call is not None else (),
+                             loc=(call.loc if call is not None else None)
+                             or self._loc)
 
     # -- builders, one per Table 1 function -------------------------------------
 
     def _build_cblas_saxpy(self, call, loop_vars, trips):
         n, alpha, x, incx, y, incy = call.args
         if self._const(incx) != 1 or self._const(incy) != 1:
-            raise RecognizerError("accelerated saxpy requires unit "
+            raise self._error("accelerated saxpy requires unit "
                                   "strides")
         xbuf, xoff = self._addr(x)
         ybuf, yoff = self._addr(y)
@@ -308,7 +384,7 @@ class Recognizer:
                      "alpha": float(self._const(alpha))},
             addrs={"x_pa": (xbuf, xoff), "y_pa": (ybuf, yoff)})
         return self._accel_step("AXPY", proto, [xbuf, ybuf], [ybuf],
-                                loop_vars, trips)
+                                loop_vars, trips, call)
 
     def _dot_step(self, call, loop_vars, trips, dtype):
         n, x, incx, y, incy, out = call.args
@@ -322,7 +398,7 @@ class Recognizer:
             addrs={"x_pa": (xbuf, xoff), "y_pa": (ybuf, yoff),
                    "out_pa": (obuf, ooff)})
         return self._accel_step("DOT", proto, [xbuf, ybuf], [obuf],
-                                loop_vars, trips)
+                                loop_vars, trips, call)
 
     def _build_cblas_sdot_sub(self, call, loop_vars, trips):
         return self._dot_step(call, loop_vars, trips, DTYPE_F32)
@@ -334,14 +410,14 @@ class Recognizer:
         (order, trans, m, n, alpha, a, lda, x, incx, beta, y,
          incy) = call.args
         if self._const(order) != 101 or self._const(trans) != 111:
-            raise RecognizerError("accelerated sgemv supports row-major "
+            raise self._error("accelerated sgemv supports row-major "
                                   "no-transpose only")
         if self._const(incx) != 1 or self._const(incy) != 1:
-            raise RecognizerError("accelerated sgemv requires unit "
+            raise self._error("accelerated sgemv requires unit "
                                   "strides")
         m_val, n_val = self._const(m), self._const(n)
         if self._const(lda) != n_val:
-            raise RecognizerError("accelerated sgemv requires lda == n")
+            raise self._error("accelerated sgemv requires lda == n")
         abuf, aoff = self._addr(a)
         xbuf, xoff = self._addr(x)
         ybuf, yoff = self._addr(y)
@@ -352,8 +428,8 @@ class Recognizer:
                      "beta": float(self._const(beta))},
             addrs={"a_pa": (abuf, aoff), "x_pa": (xbuf, xoff),
                    "y_pa": (ybuf, yoff)})
-        return self._accel_step("GEMV", proto, [abuf, xbuf, ybuf], [ybuf],
-                                loop_vars, trips)
+        return self._accel_step("GEMV", proto, [abuf, xbuf, ybuf],
+                                [ybuf], loop_vars, trips, call)
 
     def _build_mkl_scsrgemv(self, call, loop_vars, trips):
         m, a, ia, ja, x, y = call.args
@@ -373,7 +449,7 @@ class Recognizer:
                    "x_pa": (xbuf, xoff), "y_pa": (ybuf, yoff)})
         return self._accel_step("SPMV", proto,
                                 [abuf, ibuf, jbuf, xbuf], [ybuf],
-                                loop_vars, trips)
+                                loop_vars, trips, call)
 
     def _build_dfsInterpolate1D(self, call, loop_vars, trips):
         blocks, n_in, knots, series, n_out, sites, out = call.args
@@ -389,12 +465,12 @@ class Recognizer:
             addrs={"in_pa": (ibuf, ioff), "sites_pa": (sbuf, soff),
                    "out_pa": (obuf, ooff), "knots_pa": (kbuf, koff)})
         return self._accel_step("RESMP", proto, [kbuf, ibuf, sbuf],
-                                [obuf], loop_vars, trips)
+                                [obuf], loop_vars, trips, call)
 
     def _build_mkl_simatcopy(self, call, loop_vars, trips):
         rows, cols, alpha, ab = call.args
         if float(self._const(alpha)) != 1.0:
-            raise RecognizerError("accelerated simatcopy requires "
+            raise self._error("accelerated simatcopy requires "
                                   "alpha == 1")
         buf, off = self._addr(ab)
         proto = ParamsProto(
@@ -403,13 +479,13 @@ class Recognizer:
                      "cols": self._const(cols),
                      "elem_bytes": self._buffer(buf).elem_size},
             addrs={"src_pa": (buf, off), "dst_pa": (buf, off)})
-        return self._accel_step("RESHP", proto, [buf], [buf], loop_vars,
-                                trips)
+        return self._accel_step("RESHP", proto, [buf], [buf],
+                                loop_vars, trips, call)
 
     def _build_mkl_somatcopy(self, call, loop_vars, trips):
         rows, cols, alpha, a, b = call.args
         if float(self._const(alpha)) != 1.0:
-            raise RecognizerError("accelerated somatcopy requires "
+            raise self._error("accelerated somatcopy requires "
                                   "alpha == 1")
         abuf, aoff = self._addr(a)
         bbuf, boff = self._addr(b)
@@ -420,24 +496,25 @@ class Recognizer:
                      "elem_bytes": self._buffer(abuf).elem_size},
             addrs={"src_pa": (abuf, aoff), "dst_pa": (bbuf, boff)})
         return self._accel_step("RESHP", proto, [abuf], [bbuf],
-                                loop_vars, trips)
+                                loop_vars, trips, call)
 
     def _build_fftwf_execute(self, call, loop_vars, trips):
         arg = call.args[0]
         if not isinstance(arg, Ident) or arg.name not in self.env.plans:
-            raise RecognizerError("fftwf_execute takes a prepared plan")
+            raise self._error("fftwf_execute takes a prepared plan")
         plan = self.env.plans[arg.name]
         if plan.rank == 0:
-            return self._reshape_from_plan(plan, loop_vars, trips)
+            return self._reshape_from_plan(plan, loop_vars, trips, call)
         if plan.rank == 1:
-            return self._fft_from_plan(plan, loop_vars, trips)
-        raise RecognizerError("only rank-0 and rank-1 guru plans are "
+            return self._fft_from_plan(plan, loop_vars, trips, call)
+        raise self._error("only rank-0 and rank-1 guru plans are "
                               "supported")
 
-    def _fft_from_plan(self, plan: PlanSpec, loop_vars, trips):
+    def _fft_from_plan(self, plan: PlanSpec, loop_vars, trips,
+                       call: Optional[Call] = None):
         dim = plan.dims[0]
         if dim.istride != 1 or dim.ostride != 1:
-            raise RecognizerError("accelerated FFT needs unit transform "
+            raise self._error("accelerated FFT needs unit transform "
                                   "stride (reshape first)")
         batch = 1
         for hd in plan.howmany:
@@ -450,9 +527,10 @@ class Recognizer:
                    "dst_pa": (plan.dst,
                               Affine.constant(plan.dst_offset))})
         return self._accel_step("FFT", proto, [plan.src], [plan.dst],
-                                loop_vars, trips)
+                                loop_vars, trips, call)
 
-    def _reshape_from_plan(self, plan: PlanSpec, loop_vars, trips):
+    def _reshape_from_plan(self, plan: PlanSpec, loop_vars, trips,
+                           call: Optional[Call] = None):
         batch, rows, cols = analyze_corner_turn(plan.howmany)
         elem = self._buffer(plan.src).elem_size
         proto = ParamsProto(
@@ -478,7 +556,7 @@ class Recognizer:
             step_trips = step_trips + (batch,)
             step_vars = step_vars + (var,)
         return self._accel_step("RESHP", proto, [plan.src], [plan.dst],
-                                step_vars, step_trips)
+                                step_vars, step_trips, call)
 
 
 def analyze_corner_turn(howmany: List[IoDimSpec]):

@@ -18,6 +18,7 @@ from repro.compiler.cast import (AddrOf, Assign, BinOp, Call, CParseError,
                                  Expr, ExprStmt, For, Ident, Index,
                                  InitList, Num, Program, Sizeof, VarDecl)
 from repro.compiler.cparser import TYPE_KEYWORDS
+from repro.compiler.errors import CompilerError
 
 #: Well-known constants legacy sources reference.
 BUILTIN_CONSTANTS = {
@@ -36,8 +37,14 @@ BUILTIN_CONSTANTS = {
 }
 
 
-class SemanticError(Exception):
-    """Raised when the compiler cannot analyse a construct."""
+class SemanticError(CompilerError):
+    """Raised when the compiler cannot analyse a construct.
+
+    A typed diagnostic (code ``MEA011``) with an optional source
+    location; ``str(exc)`` keeps the legacy bare-message shape.
+    """
+
+    default_code = "MEA011"
 
 
 @dataclass
@@ -210,7 +217,7 @@ class CompileEnv:
 def _decl_iodims(env: CompileEnv, decl: VarDecl) -> None:
     if not isinstance(decl.init, InitList):
         raise SemanticError(f"fftw_iodim {decl.name!r} needs an "
-                            "initialiser list")
+                            "initialiser list", loc=decl.loc)
     entries = []
     items = decl.init.items
     # accept both {{a,b,c},...} and a flat {a,b,c} for one dim
@@ -219,7 +226,7 @@ def _decl_iodims(env: CompileEnv, decl: VarDecl) -> None:
     for item in items:
         if not isinstance(item, InitList) or len(item.items) != 3:
             raise SemanticError("fftw_iodim initialiser entries must be "
-                                "{n, is, os}")
+                                "{n, is, os}", loc=decl.loc)
         n, istride, ostride = (env.eval_const(e) for e in item.items)
         entries.append(IoDimSpec(n=n, istride=istride, ostride=ostride))
     env.iodims[decl.name] = entries

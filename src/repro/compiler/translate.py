@@ -14,11 +14,13 @@ run the same operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple, Union
 
 from repro.compiler.cast import Program
 from repro.compiler.cparser import parse_source
+from repro.compiler.diagnostics import DiagnosticReport
+from repro.compiler.errors import AnalysisRejected
 from repro.compiler.passes import (ChainStep, DescriptorStep,
                                    TranslatedSchedule, optimize)
 from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
@@ -44,6 +46,9 @@ class TranslatedProgram:
     env: CompileEnv
     schedule: Schedule                 # pre-optimisation (call sites)
     items: List                        # grouped: Alloc/Free/Host/Descriptor
+    diagnostics: DiagnosticReport = field(
+        default_factory=DiagnosticReport)
+    demoted_steps: Tuple[int, ...] = ()
 
     def descriptor_count(self) -> int:
         return sum(1 for i in self.items
@@ -53,45 +58,78 @@ class TranslatedProgram:
         return self.schedule.total_library_calls()
 
 
-def translate(source: Union[str, Program]) -> TranslatedProgram:
-    """Compile C-subset source (or a parsed Program)."""
+def translate(source: Union[str, Program],
+              analyze: bool = True) -> TranslatedProgram:
+    """Compile C-subset source (or a parsed Program).
+
+    With ``analyze`` (the default) the static safety checker runs
+    before lowering: alias/dependence errors (MEA002, MEA005) demote
+    the offending accelerated calls to host execution, lifecycle
+    errors (use-before-init, use-after-free, double-free, plan
+    executed after destroy) raise :class:`AnalysisRejected`, and the
+    full report lands on ``TranslatedProgram.diagnostics``.
+    """
     program = (parse_source(source) if isinstance(source, str)
                else source)
     schedule = recognize(program)
-    grouped = optimize(schedule)
+    report = DiagnosticReport()
+    lowered = schedule
+    demoted: List[int] = []
+    if analyze:
+        from repro.compiler.analysis.rules import (apply_demotions,
+                                                   check_program,
+                                                   rejection_errors)
+        report = check_program(program, schedule)
+        rejects = rejection_errors(report)
+        if rejects:
+            first = rejects[0]
+            raise AnalysisRejected(first.message, loc=first.loc,
+                                   code=first.code,
+                                   buffers=first.buffers)
+        lowered, demoted = apply_demotions(schedule, report)
+    grouped = optimize(lowered)
     return TranslatedProgram(source_program=program, env=schedule.env,
-                             schedule=schedule, items=grouped.items)
+                             schedule=schedule, items=grouped.items,
+                             diagnostics=report,
+                             demoted_steps=tuple(demoted))
 
 
 # -- profiles -----------------------------------------------------------------
 
-def accel_step_profile(step: AccelCallStep, env: CompileEnv) -> OpProfile:
-    """Profile of ONE invocation of an accelerated call site."""
-    s = step.proto.scalars
-    if step.accel == "AXPY":
+def _accel_profile(accel: str, s: Dict[str, object]) -> OpProfile:
+    """Profile of one invocation of an accelerator parameter record."""
+    if accel == "AXPY":
         return axpy_profile(s["n"])
-    if step.accel == "DOT":
+    if accel == "DOT":
         if s.get("dtype", 0):
             return cdotc_profile(s["n"])
         return dot_profile(s["n"])
-    if step.accel == "GEMV":
+    if accel == "GEMV":
         return gemv_profile(s["m"], s["n"])
-    if step.accel == "SPMV":
+    if accel == "SPMV":
         return OpProfile(
             "SPMV", flops=2.0 * s["nnz"],
             bytes_read=s["nnz"] * 16 + (s["rows"] + 1) * 8,
             bytes_written=s["rows"] * 4, pattern="gather")
-    if step.accel == "RESMP":
+    if accel == "RESMP":
         return resmp_profile(s["n_in"], s["n_out"], s["blocks"])
-    if step.accel == "FFT":
+    if accel == "FFT":
         return fft_profile(s["n"], s["batch"])
-    if step.accel == "RESHP":
+    if accel == "RESHP":
         return reshp_profile(s["rows"], s["cols"], s["elem_bytes"])
-    raise RecognizerError(f"no profile for accelerator {step.accel!r}")
+    raise RecognizerError(f"no profile for accelerator {accel!r}")
+
+
+def accel_step_profile(step: AccelCallStep, env: CompileEnv) -> OpProfile:
+    """Profile of ONE invocation of an accelerated call site."""
+    return _accel_profile(step.accel, step.proto.scalars)
 
 
 def host_step_profile(step: HostCallStep, env: CompileEnv) -> OpProfile:
     """Profile of ONE invocation of a host (compute-bounded) call."""
+    if step.demoted:
+        # a demoted accelerated call: same operation, host library
+        return _accel_profile(step.accel, step.proto.scalars)
     if step.func == "cblas_cherk":
         n = env.eval_const(step.args[0])
         k = env.eval_const(step.args[1])

@@ -1,33 +1,40 @@
-"""Golden fault-free regression baselines.
+"""Golden fault-free and degraded-mode regression baselines.
 
 Runs a fixed workload matrix (DOT, AXPY, GEMV, SPMV, FFT, RESMP at
 three sizes) through a pristine :class:`MealibSystem` and asserts the
 modelled time, energy and ledger totals match the checked-in JSON
-*exactly* — bit-for-bit and joule-for-joule. Any PR that drifts the
-calibrated fault-free model must regenerate the baselines on purpose:
+*exactly* — bit-for-bit and joule-for-joule. A second, seeded matrix
+pins the *degraded* paths: every op once with one dead tile (per-vault
+fallback reroutes its stripes) and once with one failed mesh link
+(adaptive rerouting detours around it). Any PR that drifts either
+model must regenerate the baselines on purpose:
 
     PYTHONPATH=src python tests/test_golden_baselines.py
-
-The fault paths (reroute, retry, fallback) are free to grow; this
-suite pins the path every paper figure is built on.
 """
 
 import json
 import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.core import MealibSystem, ParamStore
 from repro.eval.workloads import TABLE2
+from repro.faults import FaultInjector
 
 GOLDEN_PATH = Path(__file__).parent / "golden_baselines.json"
 
-SCHEMA = "golden-baselines/v1"
+SCHEMA = "golden-baselines/v2"
 
 #: The pinned workload matrix: op x data-set scale.
 OPS = ("DOT", "AXPY", "GEMV", "SPMV", "FFT", "RESMP")
 SCALES = (0.004, 0.016, 0.064)
+
+#: Degraded-mode matrix: every op at one scale, one fault each.
+DEGRADED_SCALE = 0.016
+DEGRADED_MODES = ("dead-tile", "failed-link")
+FAULT_SEED = 4
 
 #: Ledger categories that must stay exactly zero on a fault-free run.
 RESILIENCE_CATEGORIES = ("fault", "retry", "reroute", "fallback")
@@ -36,9 +43,8 @@ RESILIENCE_CATEGORIES = ("fault", "retry", "reroute", "fallback")
 LEDGER_CATEGORIES = ("invocation", "accelerator")
 
 
-def run_workload(op: str, scale: float):
-    """One op at one scale on a fresh, fault-free system."""
-    system = MealibSystem(stack_bytes=64 << 20)
+def _execute_op(system: MealibSystem, op: str, scale: float):
+    """Build and execute one op's descriptor on the given system."""
     params = TABLE2[op].params(scale)
     core = system.layer.accelerator(op)
     streams = core.streams(params)
@@ -49,7 +55,13 @@ def run_workload(op: str, scale: float):
     plan = system.runtime.acc_plan(
         f"PASS {{ COMP {op} w.para }}", store,
         in_size=in_size, out_size=out_size)
-    result = system.runtime.acc_execute(plan, functional=False)
+    return system.runtime.acc_execute(plan, functional=False)
+
+
+def run_workload(op: str, scale: float):
+    """One op at one scale on a fresh, fault-free system."""
+    system = MealibSystem(stack_bytes=64 << 20)
+    result = _execute_op(system, op, scale)
     for category in RESILIENCE_CATEGORIES:
         total = system.ledger.total(category)
         assert total.time == 0.0 and total.energy == 0.0, (
@@ -62,14 +74,41 @@ def run_workload(op: str, scale: float):
             "ledger": ledger}
 
 
+def run_degraded(op: str, mode: str):
+    """One op on a system with a single seeded hardware fault."""
+    system = MealibSystem(stack_bytes=64 << 20,
+                          faults=FaultInjector(seed=FAULT_SEED))
+    if mode == "dead-tile":
+        system.layer.mark_tile_failed(0)
+    elif mode == "failed-link":
+        noc = system.layer.noc
+        links = noc.links()
+        rng = np.random.default_rng(FAULT_SEED)
+        idx = int(rng.permutation(len(links))[0])
+        noc.fail_link(*links[idx])
+    else:
+        raise ValueError(f"unknown degraded mode {mode!r}")
+    result = _execute_op(system, op, DEGRADED_SCALE)
+    counters = system.runtime.counters
+    reroute = system.ledger.total("reroute")
+    fallback = system.ledger.total("fallback")
+    return {"time": result.time, "energy": result.energy,
+            "availability": counters.availability,
+            "reroute": [reroute.time, reroute.energy],
+            "fallback": [fallback.time, fallback.energy]}
+
+
 def compute_baselines():
     return {
         "schema": SCHEMA,
-        "note": ("Exact fault-free time/energy/ledger values. "
-                 "Regenerate deliberately with: PYTHONPATH=src python "
+        "note": ("Exact fault-free and seeded degraded-mode "
+                 "time/energy/ledger values. Regenerate deliberately "
+                 "with: PYTHONPATH=src python "
                  "tests/test_golden_baselines.py"),
         "workloads": {f"{op}@{scale}": run_workload(op, scale)
                       for op in OPS for scale in SCALES},
+        "degraded": {f"{op}@{mode}": run_degraded(op, mode)
+                     for op in OPS for mode in DEGRADED_MODES},
     }
 
 
@@ -90,6 +129,8 @@ def test_schema_and_coverage(golden):
     assert golden["schema"] == SCHEMA
     expected = {f"{op}@{scale}" for op in OPS for scale in SCALES}
     assert set(golden["workloads"]) == expected
+    degraded = {f"{op}@{mode}" for op in OPS for mode in DEGRADED_MODES}
+    assert set(golden["degraded"]) == degraded
 
 
 @pytest.mark.parametrize("scale", SCALES)
@@ -113,6 +154,34 @@ def test_fault_free_model_matches_golden_exactly(golden, op, scale):
 def test_runs_are_reproducible_within_session():
     assert run_workload("AXPY", SCALES[0]) == run_workload(
         "AXPY", SCALES[0])
+
+
+@pytest.mark.parametrize("mode", DEGRADED_MODES)
+@pytest.mark.parametrize("op", OPS)
+def test_degraded_model_matches_golden_exactly(golden, op, mode):
+    recorded = golden["degraded"][f"{op}@{mode}"]
+    fresh = run_degraded(op, mode)
+    assert fresh == recorded, (
+        f"{op}@{mode} degraded baseline drifted: {fresh!r} != "
+        f"{recorded!r}")
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_dead_tile_reroutes_without_fallback(golden, op):
+    point = golden["degraded"][f"{op}@dead-tile"]
+    # one dead tile costs reroute bandwidth, never the accelerated path
+    assert point["availability"] == 1.0
+    assert point["fallback"] == [0.0, 0.0]
+    assert point["reroute"][0] > 0.0
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_degraded_never_beats_fault_free(golden, op):
+    clean = golden["workloads"][f"{op}@{DEGRADED_SCALE}"]
+    for mode in DEGRADED_MODES:
+        point = golden["degraded"][f"{op}@{mode}"]
+        assert point["time"] >= clean["time"], (
+            f"{op}@{mode} is faster than the fault-free run")
 
 
 def main(argv=None):
