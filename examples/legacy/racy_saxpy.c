@@ -1,0 +1,18 @@
+/* Seeded write-write race: consecutive iterations accumulate into
+ * overlapping windows of `out` (windows of 8 floats advancing by 4),
+ * so the saxpy collapsed out of the OpenMP nest is NOT offload-safe.
+ * The analyzer must report MEA008 through the call chain and exit
+ * nonzero; translation demotes the step to the host library. */
+#define M 8
+float hist[128];
+float out[64];
+int i;
+
+void accumulate(int n, float *src, float *dst) {
+  cblas_saxpy(n, 1.0, src, 1, dst, 1);
+}
+
+#pragma omp parallel for
+for (i = 0; i < M; i++) {
+  accumulate(8, &hist[i * 4], &out[i * 4]);
+}

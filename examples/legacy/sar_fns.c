@@ -1,0 +1,52 @@
+/* SAR image formation factored into helper functions: range
+ * interpolation behind `form_ranges`, the azimuth FFT in the main
+ * body, and a per-block detector the compiler collapses out of the
+ * OpenMP nest *through* the `detect_block` call. Interprocedural
+ * analysis proves the nest iteration-disjoint, so every accelerated
+ * call stays offloaded. */
+#define N 64
+#define BLOCKS 16
+
+float *knots;
+float *sites;
+complex *range_lines;
+complex *interp;
+complex *image;
+float det_in[BLOCKS][N];
+float det_out[BLOCKS][N];
+fftwf_plan plan_az;
+fftw_iodim dims[1] = {{N, 1, 1}};
+fftw_iodim howmany[1] = {{BLOCKS, N, N}};
+int blk;
+
+void form_ranges(int rows, int n, float *k, complex *lines,
+                 float *s, complex *out) {
+  dfsInterpolate1D(rows, n, k, lines, n, s, out);
+}
+
+void detect_block(int n, float *acc_in, float *acc_out) {
+  cblas_saxpy(n, 0.5, acc_in, 1, acc_out, 1);
+}
+
+knots = malloc(sizeof(float) * N);
+sites = malloc(sizeof(float) * BLOCKS * N);
+range_lines = malloc(sizeof(complex) * BLOCKS * N);
+interp = malloc(sizeof(complex) * BLOCKS * N);
+image = malloc(sizeof(complex) * BLOCKS * N);
+
+/* range interpolation onto the polar-to-rect grid */
+form_ranges(BLOCKS, N, knots, range_lines, sites, interp);
+
+/* azimuth FFT — chained with the interpolation by the compiler */
+plan_az = fftwf_plan_guru_dft(1, dims, 1, howmany, interp, image,
+                              FFTW_FORWARD, FFTW_WISDOM_ONLY);
+fftwf_execute(plan_az);
+
+/* detection: each block accumulates into its own row, so the race
+ * detector classifies the collapsed call iteration-disjoint */
+#pragma omp parallel for
+for (blk = 0; blk < BLOCKS; blk++) {
+  detect_block(N, &det_in[blk][0], &det_out[blk][0]);
+}
+
+free(range_lines);

@@ -1,8 +1,10 @@
 """The source-to-source compiler (Section 3.4) and its interpreters."""
 
 from repro.compiler.affine import Affine, AffineError
-from repro.compiler.cast import CParseError, Program, walk_calls
+from repro.compiler.cast import (CParseError, FuncDef, Param, Program,
+                                 walk_calls)
 from repro.compiler.cparser import parse_source
+from repro.compiler.inline import inline_body, substitute_expr
 from repro.compiler.diagnostics import (Diagnostic, DiagnosticReport,
                                         Severity, SourceLoc)
 from repro.compiler.errors import AnalysisRejected, CompilerError
@@ -21,8 +23,9 @@ from repro.compiler.translate import (HOST_CALL_OVERHEAD_S,
                                       translate)
 
 __all__ = [
-    "Affine", "AffineError", "CParseError", "Program", "walk_calls",
-    "parse_source", "Diagnostic", "DiagnosticReport", "Severity",
+    "Affine", "AffineError", "CParseError", "FuncDef", "Param",
+    "Program", "walk_calls", "parse_source", "inline_body",
+    "substitute_expr", "Diagnostic", "DiagnosticReport", "Severity",
     "SourceLoc", "AnalysisRejected", "CompilerError", "ArrayRef",
     "InterpError", "RunOutcome", "run_original", "run_translated",
     "ChainStep", "DescriptorStep", "chain_pass", "group_descriptors",

@@ -3,36 +3,50 @@
 Proves offload *safety* before any call is redirected to the in-DRAM
 accelerators. The pipeline is::
 
-    C AST ──► CFG (basic blocks, loop nests)
+    C AST ──► call graph (recursion detection, bottom-up order)
+          ──► per-function effect summaries (intervals, lifecycle,
+              escapes) consumed at call sites — never re-analysed
+          ──► CFG (basic blocks, loop nests)
           ──► dataflow (reaching lifecycle events, buffer liveness)
           ──► alias / overlap analysis over call arguments
-          ──► loop-carried-dependence check for OpenMP collapse
-          ──► rule engine ──► Diagnostics (MEA001..MEA007)
+          ──► loop-carried-dependence + OpenMP race detection
+          ──► rule engine ──► Diagnostics (MEA001..MEA012)
 
 ``error`` findings on accelerated call sites demote the call to host
 execution (``HostCallStep``) instead of producing a wrong offload;
-lifecycle errors (use-after-free, double-free, ...) reject the program.
+lifecycle errors (use-after-free, double-free, ... — including their
+interprocedural form MEA012) reject the program.
 """
 
 from repro.compiler.analysis.alias import (FieldAccess, READ_FIELDS,
                                            WRITE_FIELDS, step_accesses)
+from repro.compiler.analysis.callgraph import (MAIN, CallGraph,
+                                               build_call_graph)
 from repro.compiler.analysis.cfg import BasicBlock, Cfg, build_cfg
 from repro.compiler.analysis.dataflow import (LifecycleFacts, Liveness,
                                               solve_backward,
                                               solve_forward)
 from repro.compiler.analysis.events import BufferEvent, stmt_events
+from repro.compiler.analysis.races import classify_races
 from repro.compiler.analysis.rules import (AnalysisResult, DEMOTE_CODES,
                                            REJECT_CODES, analyze_source,
                                            apply_demotions,
                                            check_program)
+from repro.compiler.analysis.summaries import (FunctionSummary,
+                                               IntervalEffect,
+                                               SummaryEvent,
+                                               compute_summaries)
 from repro.compiler.diagnostics import (Diagnostic, DiagnosticReport,
                                         Severity, SourceLoc)
 
 __all__ = [
     "FieldAccess", "READ_FIELDS", "WRITE_FIELDS", "step_accesses",
+    "MAIN", "CallGraph", "build_call_graph",
     "BasicBlock", "Cfg", "build_cfg", "LifecycleFacts", "Liveness",
     "solve_backward", "solve_forward", "BufferEvent", "stmt_events",
-    "AnalysisResult", "DEMOTE_CODES", "REJECT_CODES", "analyze_source",
-    "apply_demotions", "check_program", "Diagnostic",
-    "DiagnosticReport", "Severity", "SourceLoc",
+    "classify_races", "AnalysisResult", "DEMOTE_CODES", "REJECT_CODES",
+    "analyze_source", "apply_demotions", "check_program",
+    "FunctionSummary", "IntervalEffect", "SummaryEvent",
+    "compute_summaries", "Diagnostic", "DiagnosticReport", "Severity",
+    "SourceLoc",
 ]

@@ -16,11 +16,15 @@ union and termination follows from the finite token universe.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Tuple
+from typing import (Callable, Dict, FrozenSet, Iterable, List,
+                    Optional, Tuple)
 
 from repro.compiler.analysis.cfg import Cfg
 from repro.compiler.analysis.events import BufferEvent, stmt_events
 from repro.compiler.semantics import CompileEnv
+
+#: name -> FunctionSummary (kept loose to avoid an import cycle).
+Summaries = Optional[Dict[str, object]]
 
 Facts = FrozenSet[Tuple[str, str]]
 Transfer = Callable[[int, Facts], Facts]
@@ -89,11 +93,12 @@ class LifecycleFacts:
     buffer along some path.
     """
 
-    def __init__(self, cfg: Cfg, env: CompileEnv):
+    def __init__(self, cfg: Cfg, env: CompileEnv,
+                 summaries: Summaries = None):
         self.cfg = cfg
         self.env = env
         self._events: Dict[int, List[List[BufferEvent]]] = {
-            b.bid: [stmt_events(s, env) for s in b.stmts]
+            b.bid: [stmt_events(s, env, summaries) for s in b.stmts]
             for b in cfg.blocks}
         self.block_in, self.block_out = solve_forward(
             cfg, self._transfer)
@@ -138,11 +143,12 @@ class Liveness:
     writes, or takes the address of it. Fact tokens: ``("live", buf)``.
     """
 
-    def __init__(self, cfg: Cfg, env: CompileEnv):
+    def __init__(self, cfg: Cfg, env: CompileEnv,
+                 summaries: Summaries = None):
         self.cfg = cfg
         self.env = env
         self._events: Dict[int, List[List[BufferEvent]]] = {
-            b.bid: [stmt_events(s, env) for s in b.stmts]
+            b.bid: [stmt_events(s, env, summaries) for s in b.stmts]
             for b in cfg.blocks}
         self.block_in, self.block_out = solve_backward(
             cfg, self._transfer)
@@ -150,7 +156,8 @@ class Liveness:
     @staticmethod
     def _refs(events: Iterable[BufferEvent]) -> Facts:
         return frozenset(("live", ev.name) for ev in events
-                         if ev.kind in ("read", "write", "ref"))
+                         if ev.kind in ("read", "write", "ref",
+                                        "escape"))
 
     def _transfer(self, bid: int, facts: Facts) -> Facts:
         for ev_list in self._events[bid]:

@@ -11,7 +11,7 @@ recognizer also understands.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.affine import AffineError
 from repro.compiler.cast import (Assign, Call, ExprStmt, Ident, Stmt,
@@ -24,8 +24,9 @@ from repro.compiler.semantics import CompileEnv, SemanticError
 #:   read / write        library call touches the buffer's memory
 #:   ref                 address taken without a data access (plan setup)
 #:   plan_make / plan_use / plan_kill   FFTW plan lifecycle
+#:   escape              address captured by state outliving the call
 EVENT_KINDS = ("alloc", "free", "read", "write", "ref",
-               "plan_make", "plan_use", "plan_kill")
+               "plan_make", "plan_use", "plan_kill", "escape")
 
 
 @dataclass(frozen=True)
@@ -33,6 +34,10 @@ class BufferEvent:
     kind: str
     name: str                        # buffer or plan name
     loc: Optional[SourceLoc] = None
+    #: call chain (outermost callee first) when the event reaches this
+    #: statement through a user-defined function's effect summary;
+    #: empty for events the statement performs directly.
+    chain: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -67,12 +72,50 @@ def _buffer_of(env: CompileEnv, expr) -> Optional[str]:
     return name
 
 
-def _call_events(env: CompileEnv, call: Call,
-                 loc: Optional[SourceLoc]) -> List[BufferEvent]:
+def _summary_events(env: CompileEnv, call: Call,
+                    loc: Optional[SourceLoc],
+                    summary) -> List[BufferEvent]:
+    """Replay a callee's effect summary at this call site.
+
+    Parameter targets are re-bound to the caller's buffers; events on
+    the callee's globals pass through unchanged. Every replayed event
+    carries the call chain so downstream diagnostics can name the path
+    (and the lifecycle rules can upgrade a violation to MEA012)."""
+    if not summary.available:
+        return []
+    binding: Dict[str, Optional[str]] = {}
+    for (pname, pointer), arg in zip(summary.params, call.args):
+        if pointer:
+            binding[pname] = _buffer_of(env, arg)
     events: List[BufferEvent] = []
+    for ev in summary.events:
+        kind, name = ev.target
+        if kind == "param":
+            resolved = binding.get(name)
+            if resolved is None:
+                continue
+            name = resolved
+        events.append(BufferEvent(ev.kind, name, loc,
+                                  chain=(summary.name,) + ev.chain))
+    return events
+
+
+def _call_events(env: CompileEnv, call: Call,
+                 loc: Optional[SourceLoc],
+                 summaries: Optional[Dict[str, object]] = None
+                 ) -> List[BufferEvent]:
+    events: List[BufferEvent] = []
+    if summaries and call.func in summaries:
+        return _summary_events(env, call, loc, summaries[call.func])
     if call.func == "free":
-        if call.args and isinstance(call.args[0], Ident):
-            events.append(BufferEvent("free", call.args[0].name, loc))
+        if call.args:
+            if isinstance(call.args[0], Ident):
+                events.append(
+                    BufferEvent("free", call.args[0].name, loc))
+            else:
+                buf = _buffer_of(env, call.args[0])
+                if buf is not None:
+                    events.append(BufferEvent("free", buf, loc))
         return events
     if call.func == "fftwf_destroy_plan":
         if call.args and isinstance(call.args[0], Ident):
@@ -103,8 +146,14 @@ def _call_events(env: CompileEnv, call: Call,
     return events
 
 
-def stmt_events(stmt: Stmt, env: CompileEnv) -> List[BufferEvent]:
-    """Events the statement performs, in execution order."""
+def stmt_events(stmt: Stmt, env: CompileEnv,
+                summaries: Optional[Dict[str, object]] = None
+                ) -> List[BufferEvent]:
+    """Events the statement performs, in execution order.
+
+    With ``summaries`` (name -> :class:`FunctionSummary`), a call to a
+    user-defined function expands to its summarised effects — the
+    interprocedural half of the analysis."""
     if isinstance(stmt, VarDecl):
         return []
     if isinstance(stmt, Assign):
@@ -127,5 +176,5 @@ def stmt_events(stmt: Stmt, env: CompileEnv) -> List[BufferEvent]:
             return events
         return []
     if isinstance(stmt, ExprStmt) and isinstance(stmt.expr, Call):
-        return _call_events(env, stmt.expr, stmt.loc)
+        return _call_events(env, stmt.expr, stmt.loc, summaries)
     return []

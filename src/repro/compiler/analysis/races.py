@@ -1,0 +1,138 @@
+"""Static OpenMP race detection over accelerated parallel loops.
+
+An accelerated call collapsed out of a ``#pragma omp parallel for``
+nest executes its iterations concurrently in the original program.
+Offloading it is only faithful when the iterations could not have
+raced in the first place, so each such step is classified as:
+
+* **iteration-disjoint** — every written byte interval of one
+  iteration is disjoint from every interval another iteration touches
+  (proved with the mixed-radix argument or bounded enumeration from
+  :mod:`.alias`). Offloadable; no finding.
+* **recognized reduction** — all iterations accumulate into the
+  *same* interval through an associative update (AXPY's ``y += a*x``;
+  GEMV with ``beta == 1``). Offloadable with an INFO-severity MEA010
+  note: the LOOP descriptor serialises iterations on the accelerator,
+  so the reduction is safe there even though the host OpenMP version
+  races benignly on the accumulation order.
+* **racy** — overlapping writes (MEA008) or a write overlapping
+  another iteration's read (MEA009), or a shared output whose update
+  is not a recognized reduction (MEA010 at ERROR severity). The step
+  demotes to the host library, keeping the original semantics.
+
+``unknown`` overlap answers classify as racy: offload must be proven
+safe, never assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compiler.analysis.alias import (FieldAccess,
+                                           cross_iteration_overlap,
+                                           step_accesses)
+from repro.compiler.diagnostics import Diagnostic, Severity
+from repro.compiler.recognizer import AccelCallStep
+from repro.compiler.semantics import CompileEnv
+
+#: Accelerators whose write field accumulates associatively, making a
+#: shared output a *reduction* rather than a lost-update race.
+_REDUCTION_ACCELS = {"AXPY"}
+
+
+def _is_reduction_update(step: AccelCallStep) -> bool:
+    if step.accel in _REDUCTION_ACCELS:
+        return True
+    if step.accel == "GEMV":
+        # y = alpha*A*x + beta*y accumulates only when beta == 1
+        beta = step.proto.scalars.get("beta")
+        return isinstance(beta, (int, float)) and float(beta) == 1.0
+    return False
+
+
+def _shared_interval(access: FieldAccess,
+                     loop_vars: Tuple[str, ...]) -> bool:
+    """True when every iteration touches the identical interval."""
+    return all(access.offset.coef(v) == 0 for v in loop_vars)
+
+
+def classify_races(step: AccelCallStep, step_index: int,
+                   env: CompileEnv) -> List[Diagnostic]:
+    """Race findings for one omp-collapsed accelerated step.
+
+    Returns an empty list for iteration-disjoint steps, a single INFO
+    MEA010 for a recognized reduction, and ERROR findings (MEA008 /
+    MEA009 / MEA010) for everything racy.
+    """
+    findings: List[Diagnostic] = []
+    trips_by_var: Dict[str, int] = dict(zip(step.loop_vars, step.trips))
+    if not step.looped:
+        return findings
+    space = 1
+    for t in step.trips:
+        space *= t
+    if space <= 1:
+        return findings
+
+    accesses = step_accesses(step, env)
+    writes = [a for a in accesses if a.writes]
+
+    def emit(code: str, severity: Severity, message: str,
+             buffers: Tuple[str, ...]) -> None:
+        findings.append(Diagnostic(
+            code=code, severity=severity, message=message,
+            loc=step.loc, buffers=buffers, step_index=step_index,
+            chain=step.chain))
+
+    seen_pairs: set = set()
+    for w in writes:
+        # -- write vs write (including the field against itself) ----------
+        for other in writes:
+            if other.buffer != w.buffer:
+                continue
+            pair = (w.buffer,) + tuple(sorted({w.field, other.field}))
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            rel = cross_iteration_overlap(w, other, trips_by_var)
+            if rel == "disjoint":
+                continue
+            shared = (w.field == other.field
+                      and _shared_interval(w, step.loop_vars))
+            if shared and _is_reduction_update(step):
+                emit("MEA010", Severity.INFO,
+                     f"{step.accel} accumulates into the shared "
+                     f"interval of buffer {w.buffer!r}: recognized "
+                     "reduction; the LOOP descriptor serialises "
+                     "iterations, so the offload is safe",
+                     (w.buffer,))
+                continue
+            if shared:
+                emit("MEA010", Severity.ERROR,
+                     f"{step.accel} overwrites the shared interval of "
+                     f"buffer {w.buffer!r} from every iteration and "
+                     "the update is not a recognized reduction; "
+                     "parallel iterations race on the final value",
+                     (w.buffer,))
+                continue
+            detail = ("overlap" if rel == "overlap"
+                      else "cannot be proven disjoint")
+            emit("MEA008", Severity.ERROR,
+                 f"{step.accel} writes to {w.field} on buffer "
+                 f"{w.buffer!r} {detail} across parallel iterations "
+                 "(write-write race)", (w.buffer,))
+        # -- write vs pure reads of other fields --------------------------
+        for other in accesses:
+            if other.writes or other.buffer != w.buffer \
+                    or other.field == w.field:
+                continue
+            rel = cross_iteration_overlap(w, other, trips_by_var)
+            if rel == "disjoint":
+                continue
+            detail = ("overlaps" if rel == "overlap"
+                      else "cannot be proven disjoint from")
+            emit("MEA009", Severity.ERROR,
+                 f"{step.accel} write to {w.field} {detail} the "
+                 f"{other.field} read of another iteration on buffer "
+                 f"{w.buffer!r} (read-write race)", (w.buffer,))
+    return findings

@@ -8,16 +8,29 @@ MEA001    buffer used before ``malloc`` initialised it
 MEA002    in-place alias between fields of an accelerated call
 MEA003    buffer used after ``free``
 MEA004    double ``free``
-MEA005    loop-carried dependence blocks OpenMP collapse
+MEA005    loop-carried dependence blocks loop compaction
 MEA006    FFTW plan executed after ``fftwf_destroy_plan``
 MEA007    heap buffer allocated but never consumed (warning)
+MEA008    write-write race under ``#pragma omp parallel for``
+MEA009    read-write race under ``#pragma omp parallel for``
+MEA010    reduction under a parallel loop (ERROR when the update is
+          not a recognized reduction; INFO when recognized)
+MEA011    effect summary unavailable (escaping buffer) — demote
+MEA012    interprocedural lifecycle mismatch (MEA001/003/004/006
+          reached through a user-defined function's summary)
 ========  ========================================================
 
-``error`` findings split two ways: alias/dependence errors (MEA002,
-MEA005) *demote* the accelerated call back to the host library — the
-program still runs, just without the unsound offload — while lifecycle
-errors (MEA001/003/004/006) describe a program that is wrong on any
+``error`` findings split two ways: alias/dependence/race errors
+(MEA002, MEA005, MEA008–MEA011) *demote* the accelerated call back to
+the host library — the program still runs, just without the unsound
+offload — while lifecycle errors (MEA001/003/004/006 and their
+interprocedural form MEA012) describe a program that is wrong on any
 target and therefore reject it.
+
+The analysis is summary-based: user-defined function calls are never
+re-analysed per call site; their precomputed effect summaries
+(:mod:`.summaries`) replay into the same worklist solvers, carrying
+the call chain for diagnostics.
 """
 
 from __future__ import annotations
@@ -31,16 +44,21 @@ from repro.compiler.analysis.alias import (INPLACE_EXACT_OK,
                                            step_accesses)
 from repro.compiler.analysis.cfg import Cfg, build_cfg
 from repro.compiler.analysis.dataflow import LifecycleFacts, Liveness
-from repro.compiler.analysis.events import BufferEvent
+from repro.compiler.analysis.events import BufferEvent, stmt_events
+from repro.compiler.analysis.races import classify_races
+from repro.compiler.analysis.summaries import (FunctionSummary,
+                                               compute_summaries)
 from repro.compiler.cast import Program
 from repro.compiler.diagnostics import (Diagnostic, DiagnosticReport,
                                         Severity)
 from repro.compiler.recognizer import AccelCallStep, Schedule
 
 #: Error codes that demote the accelerated call to host execution.
-DEMOTE_CODES = frozenset({"MEA002", "MEA005"})
+DEMOTE_CODES = frozenset({"MEA002", "MEA005", "MEA008", "MEA009",
+                          "MEA010", "MEA011"})
 #: Error codes that reject the program outright (wrong on any target).
-REJECT_CODES = frozenset({"MEA001", "MEA003", "MEA004", "MEA006"})
+REJECT_CODES = frozenset({"MEA001", "MEA003", "MEA004", "MEA006",
+                          "MEA012"})
 
 
 @dataclass
@@ -56,22 +74,30 @@ class AnalysisResult:
         return not self.report.has_errors
 
 
-# -- lifecycle rules (MEA001/003/004/006) ------------------------------------
+# -- lifecycle rules (MEA001/003/004/006/012) --------------------------------
 
 def _check_lifecycle(cfg: Cfg, schedule: Schedule,
-                     report: DiagnosticReport) -> None:
+                     report: DiagnosticReport,
+                     summaries: Optional[Dict[str, FunctionSummary]]
+                     = None) -> None:
     env = schedule.env
-    lifecycle = LifecycleFacts(cfg, env)
+    lifecycle = LifecycleFacts(cfg, env, summaries)
     seen: Set[Tuple] = set()
 
     def emit(code: str, message: str, ev: BufferEvent) -> None:
+        if ev.chain:
+            # the violating effect reaches this statement through a
+            # user-defined function's summary: interprocedural mismatch
+            path = " -> ".join(ev.chain)
+            message = f"{message} (inside {path}())"
+            code = "MEA012"
         key = (code, ev.name, ev.loc)
         if key in seen:
             return
         seen.add(key)
         report.add(Diagnostic(code=code, severity=Severity.ERROR,
                               message=message, loc=ev.loc,
-                              buffers=(ev.name,)))
+                              buffers=(ev.name,), chain=ev.chain))
 
     def visit(ev: BufferEvent, facts) -> None:
         if ev.kind in ("read", "write", "ref"):
@@ -99,14 +125,36 @@ def _check_lifecycle(cfg: Cfg, schedule: Schedule,
 
 
 def _check_dead_buffers(cfg: Cfg, schedule: Schedule,
-                        report: DiagnosticReport) -> None:
-    liveness = Liveness(cfg, schedule.env)
+                        report: DiagnosticReport,
+                        summaries: Optional[Dict[str, FunctionSummary]]
+                        = None) -> None:
+    liveness = Liveness(cfg, schedule.env, summaries)
     for bid, idx, ev in liveness.alloc_sites():
         if not liveness.live_after_alloc(bid, idx, ev.name):
             report.add(Diagnostic(
                 code="MEA007", severity=Severity.WARNING,
                 message=f"buffer {ev.name!r} is allocated but never "
                         "consumed", loc=ev.loc, buffers=(ev.name,)))
+
+
+def _escaped_buffers(cfg: Cfg, schedule: Schedule,
+                     summaries: Dict[str, FunctionSummary]
+                     ) -> Dict[str, Tuple[str, ...]]:
+    """Buffers whose address escapes *inside* a user-defined function.
+
+    The caller cannot see the capture locally (a plan created in the
+    callee holds the pointer), so accelerated calls on such buffers
+    under a parallel loop cannot be proven isolated: the effect
+    summary reports the escape and the step demotes (MEA011).
+    """
+    escaped: Dict[str, Tuple[str, ...]] = {}
+    for block in cfg.blocks:
+        for stmt in block.stmts:
+            for ev in stmt_events(stmt, schedule.env, summaries):
+                if ev.kind == "escape" and ev.chain \
+                        and ev.name not in escaped:
+                    escaped[ev.name] = ev.chain
+    return escaped
 
 
 # -- alias / dependence rules (MEA002/005) -----------------------------------
@@ -147,7 +195,9 @@ def _check_step_aliasing(step: AccelCallStep, step_index: int,
                      "accelerator)", (w.field, other.field),
                      (w.buffer,))
 
-    if not step.looped:
+    if not step.looped or step.omp:
+        # omp-collapsed steps answer to the race detector (MEA008-010)
+        # instead of the serial loop-compaction rule below
         return
     for w in writes:
         checked: Set[Tuple] = set()
@@ -176,15 +226,35 @@ def _check_step_aliasing(step: AccelCallStep, step_index: int,
 
 def check_program(program: Program,
                   schedule: Schedule) -> DiagnosticReport:
-    """Run every safety rule; returns the full report."""
+    """Run every safety rule; returns the full (sorted) report."""
     report = DiagnosticReport()
     cfg = build_cfg(program)
-    _check_lifecycle(cfg, schedule, report)
-    _check_dead_buffers(cfg, schedule, report)
+    summaries = compute_summaries(program, schedule.env)
+    _check_lifecycle(cfg, schedule, report, summaries)
+    _check_dead_buffers(cfg, schedule, report, summaries)
+    escaped = _escaped_buffers(cfg, schedule, summaries)
     for idx, step in enumerate(schedule.steps):
-        if isinstance(step, AccelCallStep):
-            _check_step_aliasing(step, idx, schedule, report)
-    return report
+        if not isinstance(step, AccelCallStep):
+            continue
+        _check_step_aliasing(step, idx, schedule, report)
+        if not step.omp:
+            continue
+        touched = [b for b in dict.fromkeys(step.in_bufs
+                                            + step.out_bufs)
+                   if b in escaped]
+        if touched:
+            buf = touched[0]
+            path = " -> ".join(escaped[buf])
+            report.add(Diagnostic(
+                code="MEA011", severity=Severity.ERROR,
+                message=f"buffer {buf!r} escapes into plan state "
+                        f"inside {path}(); the effect summary cannot "
+                        "prove the parallel iterations are isolated",
+                loc=step.loc, buffers=tuple(touched), step_index=idx,
+                chain=escaped[buf]))
+            continue
+        report.extend(classify_races(step, idx, schedule.env))
+    return report.sort()
 
 
 def analyze_source(source: str) -> AnalysisResult:
@@ -201,7 +271,9 @@ def analyze_source(source: str) -> AnalysisResult:
 
 def apply_demotions(schedule: Schedule, report: DiagnosticReport
                     ) -> Tuple[Schedule, List[int]]:
-    """Demote accel steps flagged by MEA002/MEA005 to host calls.
+    """Demote accel steps flagged by any :data:`DEMOTE_CODES` error
+    (alias, serial dependence, race, unavailable summary) to host
+    calls.
 
     Returns the (possibly new) schedule and the demoted step indices.
     """

@@ -3,13 +3,16 @@
 Usage::
 
     python -m repro.compiler.analyze prog.c [prog2.c ...] [--json]
+    python -m repro.compiler.analyze prog.c --sarif > report.sarif
 
 Each file is parsed, recognized, and run through the full rule battery
 (:mod:`repro.compiler.analysis`). Findings print one per line in the
-classic ``file:line:col: severity: CODE title: message`` shape, or as
-one JSON report per file with ``--json``. The exit status is 1 when
-any file produced an error-severity finding (or failed to compile at
-all), 0 otherwise — so the analyzer can gate CI.
+classic ``file:line:col: severity: CODE title: message`` shape, as one
+JSON report per file with ``--json`` (schema ``mea-analysis/v1``,
+unchanged), or as a single SARIF 2.1.0 log with ``--sarif`` for code
+scanners and CI annotation. The exit status is 1 when any file
+produced an error-severity finding (or failed to compile at all), 0
+otherwise — so the analyzer can gate CI.
 """
 
 from __future__ import annotations
@@ -17,29 +20,81 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.compiler.analysis.rules import analyze_source
 from repro.compiler.cast import CParseError
-from repro.compiler.diagnostics import (Diagnostic, DiagnosticReport,
-                                        Severity)
+from repro.compiler.diagnostics import (CODE_TITLES, Diagnostic,
+                                        DiagnosticReport, Severity)
 from repro.compiler.errors import CompilerError
+
+#: SARIF levels per diagnostic severity.
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning",
+                 Severity.INFO: "note"}
 
 
 def _report_for(source: str) -> DiagnosticReport:
     """Analyze one source text, folding front-end failures into the
     report as diagnostics instead of tracebacks."""
     try:
-        return analyze_source(source).report
+        return analyze_source(source).report.sort()
     except CompilerError as exc:
         report = DiagnosticReport()
         report.add(exc.diagnostic)
         return report
     except CParseError as exc:
         report = DiagnosticReport()
-        report.add(Diagnostic(code="MEA010", severity=Severity.ERROR,
+        report.add(Diagnostic(code="MEA013", severity=Severity.ERROR,
                               message=str(exc)))
         return report
+
+
+def _sarif_result(path: str, diag: Diagnostic) -> Dict[str, object]:
+    region: Dict[str, object] = {}
+    if diag.loc is not None:
+        region["startLine"] = diag.loc.line
+        if diag.loc.col:
+            region["startColumn"] = diag.loc.col
+    message = diag.message
+    if diag.chain:
+        message += " (via " + " -> ".join(("main",) + diag.chain) + ")"
+    result: Dict[str, object] = {
+        "ruleId": diag.code,
+        "level": _SARIF_LEVELS[diag.severity],
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": path},
+                **({"region": region} if region else {}),
+            },
+        }],
+    }
+    if diag.buffers:
+        result["properties"] = {"buffers": list(diag.buffers)}
+    return result
+
+
+def _sarif_log(per_file: List) -> Dict[str, object]:
+    """One SARIF 2.1.0 run covering every analyzed file."""
+    rules = [{"id": code,
+              "shortDescription": {"text": title}}
+             for code, title in sorted(CODE_TITLES.items())]
+    results: List[Dict[str, object]] = []
+    for path, report in per_file:
+        results.extend(_sarif_result(path, d) for d in report)
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "mea-analyze",
+                "informationUri": "https://example.invalid/mealib",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -50,10 +105,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="C-subset source files to analyze")
     parser.add_argument("--json", action="store_true",
                         help="emit one JSON report per file")
+    parser.add_argument("--sarif", action="store_true",
+                        help="emit a single SARIF 2.1.0 log for all "
+                             "files")
     args = parser.parse_args(argv)
+    if args.json and args.sarif:
+        parser.error("--json and --sarif are mutually exclusive")
 
     failed = False
     json_out = []
+    sarif_in: List = []
     for path in args.files:
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -69,6 +130,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             payload = report.to_dict()
             payload["file"] = path
             json_out.append(payload)
+        elif args.sarif:
+            sarif_in.append((path, report))
         else:
             for diag in report:
                 print(f"{path}:{diag.format()}")
@@ -76,6 +139,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"{path}: clean (0 diagnostics)")
     if args.json:
         print(json.dumps(json_out, indent=2, sort_keys=True))
+    elif args.sarif:
+        print(json.dumps(_sarif_log(sarif_in), indent=2,
+                         sort_keys=True))
     return 1 if failed else 0
 
 

@@ -3,13 +3,15 @@
 The subset covers what the paper's legacy programs (Listing 1 and our
 apps) actually use: scalar/pointer/array declarations with optional
 brace initialisers, assignments, library calls, ``malloc``/``free``,
-canonical ``for`` loops, and ``#pragma omp parallel for`` annotations.
+canonical ``for`` loops, ``#pragma omp parallel for`` annotations, and
+— since the interprocedural growth — top-level ``void`` function
+definitions whose bodies reuse the same statement forms.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.compiler.diagnostics import SourceLoc
 
@@ -33,7 +35,7 @@ class Ident:
 @dataclass(frozen=True)
 class Call:
     func: str
-    args: Tuple
+    args: Tuple["Expr", ...]
     #: source position of the callee token; excluded from equality so
     #: structurally identical calls still compare equal.
     loc: Optional[SourceLoc] = field(default=None, compare=False,
@@ -69,7 +71,7 @@ class Sizeof:
 class InitList:
     """A brace initialiser: {a, b} or {{...}, {...}}."""
 
-    items: Tuple
+    items: Tuple["Expr", ...]
 
 
 Expr = Union[Num, Ident, Call, Index, AddrOf, BinOp, Sizeof, InitList]
@@ -82,7 +84,7 @@ class VarDecl:
     ctype: str
     name: str
     pointer: bool = False
-    dims: Tuple = ()                 # array dimensions (Exprs)
+    dims: Tuple[Expr, ...] = ()      # array dimensions (Exprs)
     init: Optional[Expr] = None
     loc: Optional[SourceLoc] = field(default=None, compare=False,
                                      repr=False)
@@ -111,13 +113,13 @@ class For:
     start: Expr
     bound: Expr
     step: int
-    body: Tuple
+    body: Tuple["Stmt", ...]
     pragma_omp: bool = False
     loc: Optional[SourceLoc] = field(default=None, compare=False,
                                      repr=False)
 
 
-def stmt_loc(stmt) -> Optional[SourceLoc]:
+def stmt_loc(stmt: "Stmt") -> Optional[SourceLoc]:
     """Source location of any statement node (None if unknown)."""
     return getattr(stmt, "loc", None)
 
@@ -125,19 +127,55 @@ def stmt_loc(stmt) -> Optional[SourceLoc]:
 Stmt = Union[VarDecl, Assign, ExprStmt, For]
 
 
+# -- functions ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Param:
+    """One formal parameter of a user-defined function.
+
+    Pointer parameters alias a caller buffer; value parameters are
+    scalars that must be compile-time resolvable (constants or affine
+    in the caller's loop variables) at every call site.
+    """
+
+    ctype: str
+    name: str
+    pointer: bool = False
+
+
+@dataclass(frozen=True)
+class FuncDef:
+    """A top-level ``void name(params) { body }`` definition.
+
+    The subset keeps functions ``void`` — they communicate through
+    their pointer parameters, exactly how the paper's legacy kernels
+    pass buffers to library calls.
+    """
+
+    name: str
+    params: Tuple[Param, ...]
+    body: Tuple[Stmt, ...]
+    loc: Optional[SourceLoc] = field(default=None, compare=False,
+                                     repr=False)
+
+
 @dataclass(frozen=True)
 class Program:
-    """A parsed translation unit: defines + a flat statement list."""
+    """A parsed translation unit: defines + functions + main stmts."""
 
-    defines: Tuple = ()              # (name, value) pairs
-    stmts: Tuple = ()
+    defines: Tuple[Tuple[str, Union[int, float]], ...] = ()
+    stmts: Tuple[Stmt, ...] = ()
+    functions: Tuple[FuncDef, ...] = ()
+
+    def function_map(self) -> Dict[str, FuncDef]:
+        return {f.name: f for f in self.functions}
 
 
-def walk_calls(stmts) -> List[Call]:
+def walk_calls(stmts: Sequence[Stmt]) -> List[Call]:
     """All Call expressions in statement order (loops not unrolled)."""
     out: List[Call] = []
 
-    def visit_expr(e) -> None:
+    def visit_expr(e: Expr) -> None:
         if isinstance(e, Call):
             out.append(e)
             for a in e.args:
@@ -154,7 +192,7 @@ def walk_calls(stmts) -> List[Call]:
             for item in e.items:
                 visit_expr(item)
 
-    def visit_stmt(s) -> None:
+    def visit_stmt(s: Stmt) -> None:
         if isinstance(s, VarDecl) and s.init is not None:
             visit_expr(s.init)
         elif isinstance(s, Assign):

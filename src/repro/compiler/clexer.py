@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.compiler.cast import CParseError
 
@@ -92,7 +92,7 @@ def tokenize(source: str) -> Tuple[List[Token], List[Tuple[str, str]]]:
     return tokens, defines
 
 
-def parse_number(text: str):
+def parse_number(text: str) -> Union[int, float]:
     """Convert a numeric literal token to int or float."""
     cleaned = text.rstrip("fFuUlL")
     if cleaned.startswith(("0x", "0X")):

@@ -5,8 +5,9 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.compiler.cast import (AddrOf, Assign, BinOp, Call, CParseError,
-                                 Expr, ExprStmt, For, Ident, Index,
-                                 InitList, Num, Program, Sizeof, VarDecl)
+                                 Expr, ExprStmt, For, FuncDef, Ident,
+                                 Index, InitList, Num, Param, Program,
+                                 Sizeof, VarDecl)
 from repro.compiler.clexer import Token, parse_number, tokenize
 from repro.compiler.diagnostics import SourceLoc
 
@@ -64,6 +65,75 @@ class _Parser:
             raise CParseError(
                 f"line {tok.line}: expected {text!r}, got {tok.text!r}")
         return tok
+
+    # -- functions -----------------------------------------------------------
+
+    def at_funcdef(self) -> bool:
+        """Lookahead: type keyword, '*'*, identifier, '(' — a function
+        definition rather than a declaration or a call."""
+        tok = self.peek()
+        if tok is None or tok.kind != "id" or tok.text not in TYPE_KEYWORDS:
+            return False
+        offset = 1
+        while True:
+            nxt = self.peek(offset)
+            if nxt is None:
+                return False
+            if nxt.text == "*":
+                offset += 1
+                continue
+            break
+        name = self.peek(offset)
+        if name is None or name.kind != "id":
+            return False
+        paren = self.peek(offset + 1)
+        return paren is not None and paren.text == "("
+
+    def parse_funcdef(self) -> FuncDef:
+        rtype_tok = self.advance()
+        if rtype_tok.text != "void":
+            raise CParseError(
+                f"line {rtype_tok.line}: only void user-defined "
+                f"functions are supported (got {rtype_tok.text!r}); "
+                "return results through pointer parameters")
+        name_tok = self.advance()
+        if name_tok.kind != "id":
+            raise CParseError(
+                f"line {name_tok.line}: expected function name, got "
+                f"{name_tok.text!r}")
+        self.expect("(")
+        params = []
+        if self.at("void") and self.peek(1) is not None \
+                and self.peek(1).text == ")":
+            self.advance()                   # f(void)
+        while not self.at(")"):
+            params.append(self.parse_param())
+            if self.at(","):
+                self.advance()
+        self.expect(")")
+        self.expect("{")
+        body = self.parse_stmts(stop="}")
+        self.expect("}")
+        return FuncDef(name=name_tok.text, params=tuple(params),
+                       body=body, loc=_loc(name_tok))
+
+    def parse_param(self) -> Param:
+        ctype_tok = self.advance()
+        if ctype_tok.kind != "id" or ctype_tok.text not in TYPE_KEYWORDS:
+            raise CParseError(
+                f"line {ctype_tok.line}: expected parameter type, got "
+                f"{ctype_tok.text!r}")
+        pointer = False
+        while self.at("*"):
+            self.advance()
+            pointer = True
+        name_tok = self.advance()
+        if name_tok.kind != "id":
+            raise CParseError(
+                f"line {name_tok.line}: expected parameter name, got "
+                f"{name_tok.text!r}")
+        return Param(ctype=ctype_tok.text, name=name_tok.text,
+                     pointer=pointer)
 
     # -- statements ----------------------------------------------------------
 
@@ -291,7 +361,13 @@ class _Parser:
 
 
 def parse_source(source: str) -> Program:
-    """Parse C-subset source text into a :class:`Program`."""
+    """Parse C-subset source text into a :class:`Program`.
+
+    Top-level ``void`` function definitions collect into
+    ``Program.functions``; every other top-level statement belongs to
+    the implicit main body, exactly as before the subset grew
+    functions.
+    """
     tokens, raw_defines = tokenize(source)
     defines = []
     for name, value in raw_defines:
@@ -301,5 +377,18 @@ def parse_source(source: str) -> Program:
             raise CParseError(f"#define {name} must be numeric in this "
                               "subset")
     parser = _Parser(tokens)
-    stmts = parser.parse_stmts()
-    return Program(defines=tuple(defines), stmts=stmts)
+    stmts = []
+    functions = []
+    seen = set()
+    while parser.peek() is not None:
+        if parser.at_funcdef():
+            func = parser.parse_funcdef()
+            if func.name in seen:
+                raise CParseError(
+                    f"function {func.name!r} is defined twice")
+            seen.add(func.name)
+            functions.append(func)
+        else:
+            stmts.append(parser.parse_stmt())
+    return Program(defines=tuple(defines), stmts=tuple(stmts),
+                   functions=tuple(functions))

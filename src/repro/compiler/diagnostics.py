@@ -16,11 +16,20 @@ MEA001    error     use of a heap buffer before its ``malloc``
 MEA002    error     in-place alias on an accelerated call
 MEA003    error     use of a buffer after ``free``
 MEA004    error     double ``free``
-MEA005    error     loop-carried dependence blocks OpenMP collapse
+MEA005    error     loop-carried dependence blocks loop compaction
 MEA006    error     FFTW plan executed after ``fftwf_destroy_plan``
 MEA007    warning   dead buffer: allocated but never consumed
-MEA010    error     recognition failure (unsupported library use)
-MEA011    error     semantic-analysis failure (non-constant, alias form)
+MEA008    error     write-write race under ``omp parallel for``
+MEA009    error     read-write race under ``omp parallel for``
+MEA010    error     unrecognized reduction under a parallel loop
+                    (at ``info`` severity: a *recognized* reduction —
+                    offloadable, the LOOP descriptor serialises it)
+MEA011    error     effect summary unavailable (recursive / escaping);
+                    accelerated calls demote conservatively
+MEA012    error     interprocedural lifecycle mismatch (violation
+                    reached through a user-defined function call)
+MEA013    error     recognition failure (unsupported library use)
+MEA014    error     semantic-analysis failure (non-constant, alias form)
 ========  ========  ====================================================
 """
 
@@ -66,8 +75,13 @@ CODE_TITLES: Dict[str, str] = {
     "MEA005": "loop-carried dependence blocks collapse",
     "MEA006": "FFTW plan executed after destroy",
     "MEA007": "dead buffer never consumed",
-    "MEA010": "recognition failure",
-    "MEA011": "semantic-analysis failure",
+    "MEA008": "write-write race under parallel loop",
+    "MEA009": "read-write race under parallel loop",
+    "MEA010": "reduction under parallel loop",
+    "MEA011": "effect summary unavailable",
+    "MEA012": "interprocedural lifecycle mismatch",
+    "MEA013": "recognition failure",
+    "MEA014": "semantic-analysis failure",
 }
 
 
@@ -83,6 +97,10 @@ class Diagnostic:
     #: index of the offending step in the recognizer schedule, when the
     #: finding is attached to a specific call site (drives demotion).
     step_index: Optional[int] = None
+    #: user-defined-function call chain the finding was reached
+    #: through, outermost call first (empty for intra-procedural
+    #: findings).
+    chain: Tuple[str, ...] = ()
 
     @property
     def title(self) -> str:
@@ -91,8 +109,10 @@ class Diagnostic:
     def format(self) -> str:
         where = f"{self.loc}: " if self.loc is not None else ""
         bufs = (f" [{', '.join(self.buffers)}]" if self.buffers else "")
+        via = (" (via " + " -> ".join(("main",) + self.chain) + ")"
+               if self.chain else "")
         return (f"{where}{self.severity}: {self.code} {self.title}: "
-                f"{self.message}{bufs}")
+                f"{self.message}{via}{bufs}")
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -107,7 +127,20 @@ class Diagnostic:
             out["col"] = self.loc.col
         if self.step_index is not None:
             out["step_index"] = self.step_index
+        if self.chain:
+            out["chain"] = list(self.chain)
         return out
+
+    def sort_key(self) -> Tuple[int, int, int, str, str]:
+        """Deterministic ordering: (line, col, code, message).
+
+        Findings without a source location sort last; ties break on
+        the stable code and then the message text, so report order is
+        identical across runs regardless of rule execution order.
+        """
+        if self.loc is None:
+            return (1, 0, 0, self.code, self.message)
+        return (0, self.loc.line, self.loc.col, self.code, self.message)
 
 
 @dataclass
@@ -121,6 +154,15 @@ class DiagnosticReport:
 
     def extend(self, diags: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diags)
+
+    def sort(self) -> "DiagnosticReport":
+        """Sort findings in place by (line, col, code); returns self.
+
+        Emission order depends on which rule ran first; sorting makes
+        ``--json`` output and test fixtures stable across runs.
+        """
+        self.diagnostics.sort(key=Diagnostic.sort_key)
+        return self
 
     def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.diagnostics)

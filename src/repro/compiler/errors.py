@@ -17,7 +17,7 @@ from repro.compiler.diagnostics import Diagnostic, Severity, SourceLoc
 class CompilerError(Exception):
     """Base for typed compiler failures."""
 
-    default_code = "MEA010"
+    default_code = "MEA013"
 
     def __init__(self, message: str, *, loc: Optional[SourceLoc] = None,
                  code: Optional[str] = None,

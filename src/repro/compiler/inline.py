@@ -1,0 +1,146 @@
+"""Call-site inlining of user-defined functions.
+
+The recognizer and the interpreters consume whole programs; a call to
+a ``void`` user-defined function is handled by splicing the callee's
+body into the call site with the formal parameters substituted by the
+actual argument expressions (pointer parameters receive the caller's
+buffer expression, value parameters the caller's scalar expression).
+
+Loop variables inside the callee are α-renamed with a per-call-site
+suffix so a helper's ``for (i...)`` can never capture — or be captured
+by — a loop variable of the calling context (including the OpenMP
+nest a call may sit under). The *analysis* side never inlines: it
+consumes per-function effect summaries (:mod:`.analysis.summaries`)
+at call sites instead; inlining is the code-generation story only,
+like LTO inlining below a summary-based IPO pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compiler.cast import (AddrOf, Assign, BinOp, Call, Expr,
+                                 ExprStmt, For, FuncDef, Ident, Index,
+                                 InitList, Sizeof, Stmt, VarDecl)
+from repro.compiler.semantics import SemanticError
+
+
+def substitute_expr(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    """``expr`` with every free ``Ident`` in ``mapping`` replaced."""
+    if isinstance(expr, Ident):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Call):
+        return Call(func=expr.func,
+                    args=tuple(substitute_expr(a, mapping)
+                               for a in expr.args),
+                    loc=expr.loc)
+    if isinstance(expr, Index):
+        return Index(base=substitute_expr(expr.base, mapping),
+                     idx=substitute_expr(expr.idx, mapping))
+    if isinstance(expr, AddrOf):
+        return AddrOf(operand=substitute_expr(expr.operand, mapping))
+    if isinstance(expr, BinOp):
+        return BinOp(op=expr.op,
+                     left=substitute_expr(expr.left, mapping),
+                     right=substitute_expr(expr.right, mapping))
+    if isinstance(expr, InitList):
+        return InitList(items=tuple(substitute_expr(i, mapping)
+                                    for i in expr.items))
+    if isinstance(expr, Sizeof):
+        return expr
+    return expr                             # Num
+
+
+def _collect_loop_vars(body: Tuple[Stmt, ...]) -> List[str]:
+    out: List[str] = []
+    for stmt in body:
+        if isinstance(stmt, For):
+            if stmt.var not in out:
+                out.append(stmt.var)
+            out.extend(v for v in _collect_loop_vars(stmt.body)
+                       if v not in out)
+    return out
+
+
+def _substitute_stmt(stmt: Stmt, mapping: Dict[str, Expr],
+                     renames: Dict[str, str]) -> Stmt:
+    if isinstance(stmt, VarDecl):
+        name = renames.get(stmt.name, stmt.name)
+        init = (substitute_expr(stmt.init, mapping)
+                if stmt.init is not None else None)
+        return VarDecl(ctype=stmt.ctype, name=name, pointer=stmt.pointer,
+                       dims=tuple(substitute_expr(d, mapping)
+                                  for d in stmt.dims),
+                       init=init, loc=stmt.loc)
+    if isinstance(stmt, Assign):
+        return Assign(target=substitute_expr(stmt.target, mapping),
+                      value=substitute_expr(stmt.value, mapping),
+                      loc=stmt.loc)
+    if isinstance(stmt, ExprStmt):
+        return ExprStmt(expr=substitute_expr(stmt.expr, mapping),
+                        loc=stmt.loc)
+    if isinstance(stmt, For):
+        var = renames.get(stmt.var, stmt.var)
+        return For(var=var,
+                   start=substitute_expr(stmt.start, mapping),
+                   bound=substitute_expr(stmt.bound, mapping),
+                   step=stmt.step,
+                   body=tuple(_substitute_stmt(s, mapping, renames)
+                              for s in stmt.body),
+                   pragma_omp=stmt.pragma_omp, loc=stmt.loc)
+    raise SemanticError(f"unsupported statement in function body: "
+                        f"{stmt!r}")
+
+
+def validate_body(func: FuncDef) -> None:
+    """Reject function-body constructs the subset cannot inline.
+
+    Bodies may declare bare scalar loop counters (``int i;``); buffer
+    declarations (arrays, pointers) and initialised locals must live
+    in the caller and arrive through parameters.
+    """
+    param_names = {p.name for p in func.params}
+
+    def visit(stmts: Tuple[Stmt, ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, VarDecl):
+                if stmt.pointer or stmt.dims or stmt.init is not None:
+                    raise SemanticError(
+                        f"function {func.name!r} declares local "
+                        f"buffer/constant {stmt.name!r}; pass buffers "
+                        "through pointer parameters instead",
+                        loc=stmt.loc)
+                if stmt.name in param_names:
+                    raise SemanticError(
+                        f"function {func.name!r} re-declares its "
+                        f"parameter {stmt.name!r}", loc=stmt.loc)
+            elif isinstance(stmt, For):
+                if stmt.var in param_names:
+                    raise SemanticError(
+                        f"loop variable {stmt.var!r} shadows a "
+                        f"parameter of {func.name!r}", loc=stmt.loc)
+                visit(stmt.body)
+
+    visit(func.body)
+
+
+def inline_body(func: FuncDef, args: Tuple[Expr, ...],
+                suffix: str) -> Tuple[Stmt, ...]:
+    """The callee's body specialised for one call site.
+
+    ``args`` are the (already substituted, if the caller is itself
+    inlined) actual argument expressions; ``suffix`` makes the callee's
+    loop variables unique to this call site.
+    """
+    if len(args) != len(func.params):
+        raise SemanticError(
+            f"{func.name}() takes {len(func.params)} arguments, got "
+            f"{len(args)}")
+    validate_body(func)
+    renames = {v: f"{v}__{suffix}" for v in _collect_loop_vars(func.body)}
+    mapping: Dict[str, Expr] = {old: Ident(name=new)
+                                for old, new in renames.items()}
+    for param, arg in zip(func.params, args):
+        mapping[param.name] = arg
+    return tuple(_substitute_stmt(s, mapping, renames)
+                 for s in func.body)

@@ -28,6 +28,7 @@ from repro.accel.base import pack_strides
 from repro.compiler.cast import (AddrOf, Assign, BinOp, Call, ExprStmt,
                                  For, Ident, Index, Num, Program, Sizeof,
                                  VarDecl)
+from repro.compiler.inline import inline_body
 from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
                                        HostCallStep, PlanDestroyStep,
                                        RecognizerError)
@@ -189,6 +190,9 @@ class OriginalInterpreter:
         self.inputs = inputs or {}
         self.arrays: Dict[str, np.ndarray] = {}
         self.bindings: Dict[str, int] = {}
+        self.functions = program.function_map()
+        self._call_stack: List[str] = []
+        self._inline_count = 0
 
     # -- buffers -------------------------------------------------------------
 
@@ -282,6 +286,9 @@ class OriginalInterpreter:
             raise InterpError(f"unsupported assignment {stmt!r}")
         if isinstance(stmt, ExprStmt) and isinstance(stmt.expr, Call):
             call = stmt.expr
+            if call.func in self.functions:
+                self._exec_user_call(call)
+                return
             if call.func in ("free", "fftwf_destroy_plan"):
                 return                          # buffers kept for output
             self._eval_call(call)
@@ -299,6 +306,25 @@ class OriginalInterpreter:
                 self.bindings[stmt.var] = saved
             return
         raise InterpError(f"unsupported statement {stmt!r}")
+
+    def _exec_user_call(self, call: Call) -> None:
+        """Execute a user-defined function by splicing its body in.
+
+        Mirrors the recognizer's inlining (same α-renaming scheme), so
+        the original interpreter computes exactly what the translated
+        schedule was built from.
+        """
+        if call.func in self._call_stack:
+            path = " -> ".join(self._call_stack + [call.func])
+            raise InterpError(f"recursive call chain {path}")
+        self._inline_count += 1
+        body = inline_body(self.functions[call.func], call.args,
+                           suffix=f"r{self._inline_count}")
+        self._call_stack.append(call.func)
+        try:
+            self._exec_block(body)
+        finally:
+            self._call_stack.pop()
 
     def _eval_call(self, call: Call) -> None:
         _call_function(self.env, call.func,

@@ -26,6 +26,7 @@ from repro.compiler.cast import (Assign, Call, ExprStmt, For, Ident, Num,
                                  Program, VarDecl, stmt_loc)
 from repro.compiler.diagnostics import SourceLoc
 from repro.compiler.errors import CompilerError
+from repro.compiler.inline import inline_body
 from repro.compiler.semantics import (BufferInfo, CompileEnv, IoDimSpec,
                                       PlanSpec, SemanticError, build_env)
 
@@ -33,11 +34,14 @@ from repro.compiler.semantics import (BufferInfo, CompileEnv, IoDimSpec,
 class RecognizerError(CompilerError):
     """Raised when a program uses the libraries in unsupported ways.
 
-    A typed diagnostic (code ``MEA010``) with an optional source
+    A typed diagnostic (code ``MEA013``) with an optional source
     location; ``str(exc)`` keeps the legacy bare-message shape.
+    Recursion in the call graph carries code ``MEA011`` instead (the
+    effect summary is unavailable, and the branchless subset cannot
+    terminate a recursive chain).
     """
 
-    default_code = "MEA010"
+    default_code = "MEA013"
 
 
 # -- schedule steps ----------------------------------------------------------
@@ -134,7 +138,11 @@ class AccelCallStep:
 
     ``func``/``args`` keep the original library call so the safety
     checker can demote the step to a :class:`HostCallStep` when the
-    offload would be unsound.
+    offload would be unsound. ``omp`` records that the surrounding
+    collapsed nest carried a ``#pragma omp parallel for`` — the race
+    detector only governs those steps. ``chain`` names the user-defined
+    call path (outermost first) when the call site was inlined out of
+    function bodies.
     """
 
     accel: str
@@ -145,6 +153,8 @@ class AccelCallStep:
     loop_vars: Tuple[str, ...] = ()
     func: str = ""
     args: Tuple = ()
+    omp: bool = False
+    chain: Tuple[str, ...] = ()
     loc: Optional[SourceLoc] = field(default=None, compare=False,
                                      repr=False)
 
@@ -207,7 +217,12 @@ class Recognizer:
         self.program = program
         self.env = build_env(program)
         self.schedule = Schedule(env=self.env)
+        self.functions = program.function_map()
         self._loc: Optional[SourceLoc] = None     # current statement
+        self._omp = False                         # inside an omp nest
+        self._chain: Tuple[str, ...] = ()         # inline call path
+        self._inline_stack: List[str] = []
+        self._inline_count = 0
 
     # -- helpers -------------------------------------------------------------
 
@@ -262,7 +277,39 @@ class Recognizer:
         count = bound
         if count <= 0:
             raise self._error("loop trip count must be positive")
-        self._walk(loop.body, loop_vars + (loop.var,), trips + (count,))
+        was_omp = self._omp
+        self._omp = was_omp or loop.pragma_omp
+        try:
+            self._walk(loop.body, loop_vars + (loop.var,),
+                       trips + (count,))
+        finally:
+            self._omp = was_omp
+
+    def _inline_call(self, call: Call, loop_vars, trips) -> None:
+        """Splice a user-defined function body into the call site.
+
+        Recursion carries code MEA011: the effect summary is
+        unavailable, and a recursive chain in this branchless subset
+        could never terminate anyway.
+        """
+        name = call.func
+        if name in self._inline_stack:
+            path = " -> ".join(self._inline_stack + [name])
+            raise RecognizerError(
+                f"recursive call chain {path}; effect summary "
+                "unavailable (a branchless recursive chain cannot "
+                "terminate)", loc=call.loc or self._loc, code="MEA011")
+        self._inline_count += 1
+        body = inline_body(self.functions[name], call.args,
+                           suffix=f"c{self._inline_count}")
+        self._inline_stack.append(name)
+        prev_chain = self._chain
+        self._chain = prev_chain + (name,)
+        try:
+            self._walk(body, loop_vars, trips)
+        finally:
+            self._chain = prev_chain
+            self._inline_stack.pop()
 
     def _handle_assign(self, stmt: Assign, loop_vars) -> None:
         if loop_vars:
@@ -325,14 +372,23 @@ class Recognizer:
     def _handle_call(self, call: Call, loop_vars, trips) -> None:
         name = call.func
         loc = call.loc or self._loc
+        if name in self.functions:
+            self._inline_call(call, loop_vars, trips)
+            return
         if name == "free":
             if loop_vars:
                 raise self._error("free inside a loop nest")
             target = call.args[0]
-            if not isinstance(target, Ident):
-                raise self._error("free takes a buffer name")
+            if isinstance(target, Ident):
+                buffer = target.name
+            else:
+                # inlined pointer parameters arrive as &buf[0]
+                buffer, off = self._addr(target)
+                if not off.is_constant or off.const != 0:
+                    raise self._error("free takes the buffer base "
+                                      "pointer")
             self.schedule.steps.append(
-                FreeStep(buffer=target.name, loc=loc))
+                FreeStep(buffer=buffer, loc=loc))
             return
         if name == "fftwf_destroy_plan":
             if loop_vars:
@@ -366,6 +422,7 @@ class Recognizer:
                              loop_vars=tuple(loop_vars),
                              func=call.func if call is not None else "",
                              args=call.args if call is not None else (),
+                             omp=self._omp, chain=self._chain,
                              loc=(call.loc if call is not None else None)
                              or self._loc)
 

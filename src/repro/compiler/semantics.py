@@ -40,11 +40,11 @@ BUILTIN_CONSTANTS = {
 class SemanticError(CompilerError):
     """Raised when the compiler cannot analyse a construct.
 
-    A typed diagnostic (code ``MEA011``) with an optional source
+    A typed diagnostic (code ``MEA014``) with an optional source
     location; ``str(exc)`` keeps the legacy bare-message shape.
     """
 
-    default_code = "MEA011"
+    default_code = "MEA014"
 
 
 @dataclass
