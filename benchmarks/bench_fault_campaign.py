@@ -1,6 +1,6 @@
 """Fault-injection campaign: availability, detection, resilience cost.
 
-Three sweeps through the hardened runtime:
+Four sweeps through the hardened runtime:
 
 * **rate sweep** — descriptor corruption / CU hangs / DRAM bit errors
   at growing intensity: availability, detection rate, resilience share;
@@ -11,7 +11,16 @@ Three sweeps through the hardened runtime:
 * **link-failure sweep** — 0..k failed mesh links: the adaptive router
   detours around them, availability stays high, and the degraded
   bisection bandwidth quantifies the lost headroom. A link-flap point
-  shows transient outages cost one execution, not the rest of the run.
+  shows transient outages cost one execution, not the rest of the run;
+* **scrub-interval sweep** — latent cell flips accrue in a cold
+  (data-at-rest) buffer while a hot working set executes; a background
+  patrol scrubber at shrinking intervals drains singles before they
+  pair, so the demand-path uncorrectable count of a final cold-buffer
+  read declines monotonically while the ``scrub`` ledger cost rises —
+  the classic scrub-rate vs. reliability tradeoff. The intervals form
+  a divisor chain (and deposits draw from a dedicated PRNG stream), so
+  finer settings drain pointwise-superset flip sets and monotonicity
+  is a property, not luck.
 
 Also checks the end-to-end acceptance properties: ECC-corrected runs
 are bit-exact against fault-free runs, and STAP still completes — on
@@ -31,14 +40,22 @@ import pytest
 from repro.accel import AxpyParams
 from repro.apps.stap import PRESETS, run_stap_mealib
 from repro.core import MealibSystem, ParamStore
-from repro.faults import FaultInjector
+from repro.faults import FaultInjector, ScrubConfig
 
 #: Fault intensity knob: descriptor corruption at x, CU hangs at x/4,
 #: DRAM bit errors at x * 1e-4 per bit.
 INTENSITIES = (0.0, 0.1, 0.3, 0.6)
 EXECUTES = 25
 
-SCHEMA = "fault-campaign/v2"
+#: Scrub sweep: patrol intervals (in executes; 0 disables) forming a
+#: divisor chain so finer settings' scrub points nest inside coarser
+#: ones', latent-upset rate per backed bit per step, and the number of
+#: hot executes the cold buffer sits at rest for.
+SCRUB_INTERVALS = (0, 16, 8, 4, 2, 1)
+SCRUB_RATE = 3e-5
+SCRUB_EXECUTES = 30
+
+SCHEMA = "fault-campaign/v3"
 
 
 def make_system(faults=None):
@@ -126,8 +143,60 @@ def link_failure_point(failed_links, seed=4, executes=EXECUTES,
     return point
 
 
+def scrub_sweep_point(interval, seed=4, executes=SCRUB_EXECUTES,
+                      rate=SCRUB_RATE, n_cold=32768):
+    """One scrub-interval setting of the data-at-rest campaign.
+
+    A hot AXPY working set executes ``executes`` times while latent
+    upsets accrue everywhere backed — in particular in a *cold* buffer
+    nothing reads. The hot operands are adjudicated (and drained) at
+    every operand fetch, so only patrol scrubbing stands between the
+    cold buffer's singles and their pairing into uncorrectable doubles.
+    A final accelerated read of the cold buffer then surfaces whatever
+    survived: its demand-path uncorrectable count is the sweep metric
+    (scrub-found at-rest doubles are reported separately — a busier
+    patrol *finds* more, so counting them would invert the tradeoff).
+    """
+    faults = FaultInjector(seed=seed, latent_flip_rate=rate)
+    system = MealibSystem(stack_bytes=256 << 20, faults=faults,
+                          scrub=ScrubConfig(interval=interval))
+    plan, _ = make_axpy_plan(system)
+    cold_b, cold = system.space.alloc_array((n_cold,), np.float32)
+    out_b, out = system.space.alloc_array((n_cold,), np.float32)
+    cold[:] = 1.0
+    out[:] = 0.0
+    store = ParamStore()
+    store.add("r.para", AxpyParams(n=n_cold, alpha=1.0, x_pa=cold_b.pa,
+                                   y_pa=out_b.pa).pack())
+    reader = system.runtime.acc_plan("PASS { COMP AXPY r.para }", store,
+                                     in_size=n_cold * 8,
+                                     out_size=n_cold * 4)
+    for _ in range(executes):
+        system.runtime.acc_execute(plan, functional=False)
+    system.runtime.acc_execute(reader, functional=False)
+    datapath = system.datapath.stats
+    scrub = system.scrubber.stats
+    scrub_cost = system.ledger.total("scrub")
+    total = system.total()
+    return {
+        "interval": interval,
+        "deposited": faults.stats.latent_flips_deposited,
+        "demand_uncorrectable": datapath.words_repaired,
+        "demand_corrected": datapath.words_corrected,
+        "demand_silent": datapath.words_silent,
+        "retries": system.runtime.counters.retries,
+        "scrub_passes": scrub.passes,
+        "scrub_corrected": scrub.words_corrected,
+        "scrub_uncorrectable": scrub.words_repaired,
+        "scrub_time": scrub_cost.time,
+        "scrub_energy": scrub_cost.energy,
+        "scrub_share": scrub_cost.time / total.time if total.time else 0.0,
+    }
+
+
 def run_campaign(dead_tiles=(0, 1, 2, 4, 8, 16),
                  failed_links=(0, 1, 2, 4, 6),
+                 scrub_intervals=SCRUB_INTERVALS,
                  executes=EXECUTES, seed=4):
     """The full campaign as one schema-stable record."""
     return {
@@ -145,6 +214,8 @@ def run_campaign(dead_tiles=(0, 1, 2, 4, 8, 16),
             for k in failed_links],
         "link_flap": link_failure_point(0, seed=seed,
                                         executes=executes, flap=True),
+        "scrub_sweep": [scrub_sweep_point(i, seed=seed)
+                        for i in scrub_intervals],
     }
 
 
@@ -155,6 +226,11 @@ def main(argv=None):
                         default=[0, 1, 2, 4, 8, 16])
     parser.add_argument("--failed-links", type=int, nargs="+",
                         default=[0, 1, 2, 4, 6])
+    parser.add_argument("--scrub-intervals", type=int, nargs="+",
+                        default=list(SCRUB_INTERVALS),
+                        help="patrol intervals in executes (0 disables); "
+                             "keep them a divisor chain so the "
+                             "uncorrectable-rate monotonicity holds")
     parser.add_argument("--executes", type=int, default=EXECUTES)
     parser.add_argument("--seed", type=int, default=4)
     parser.add_argument("--json", default="-",
@@ -162,6 +238,7 @@ def main(argv=None):
     args = parser.parse_args(argv)
     campaign = run_campaign(dead_tiles=tuple(args.dead_tiles),
                             failed_links=tuple(args.failed_links),
+                            scrub_intervals=tuple(args.scrub_intervals),
                             executes=args.executes, seed=args.seed)
     payload = json.dumps(campaign, indent=1, sort_keys=True)
     if args.json == "-":
@@ -260,6 +337,39 @@ def test_campaign_link_failure_sweep(benchmark):
     # flapped links are restored: the mesh ends the run healthy
     assert points["flap"]["link_flaps"] == EXECUTES
     assert points["flap"]["bisection_gbps"] == clean["bisection_gbps"]
+
+
+def test_campaign_scrub_sweep(benchmark):
+    def sweep():
+        return [scrub_sweep_point(i) for i in SCRUB_INTERVALS]
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nScrub-interval campaign (latent upsets at "
+          f"{SCRUB_RATE:g}/bit/step):")
+    print(f"{'interval':>9} {'demand-unc':>11} {'corrected':>10} "
+          f"{'scrub-unc':>10} {'scrub-ms':>9}")
+    for p in points:
+        label = p["interval"] if p["interval"] else "off"
+        print(f"{label:>9} {p['demand_uncorrectable']:>11} "
+              f"{p['demand_corrected']:>10} {p['scrub_uncorrectable']:>10} "
+              f"{1e3 * p['scrub_time']:>9.3f}")
+    # the acceptance property: shrinking the patrol interval never
+    # increases the demand-path uncorrectable rate
+    unc = [p["demand_uncorrectable"] for p in points]
+    assert unc == sorted(unc, reverse=True)
+    assert unc[0] > 0                       # unscrubbed pairs really form
+    assert unc[-1] < unc[0]                 # and patrol really drains them
+    # every demand-path double was recovered by retry, invisibly
+    assert all(p["retries"] >= (1 if p["demand_uncorrectable"] else 0)
+               for p in points)
+    # the price: scrub cost rises monotonically with patrol frequency
+    times = [p["scrub_time"] for p in points]
+    assert times == sorted(times)
+    assert points[0]["scrub_time"] == 0.0   # disabled patrol is free
+    assert points[0]["scrub_passes"] == 0
+    # deposits are scrub-policy-invariant (dedicated PRNG stream)
+    deposited = {p["deposited"] for p in points}
+    assert len(deposited) == 1
 
 
 def test_ecc_corrected_runs_are_bit_exact(benchmark):

@@ -23,7 +23,7 @@ from __future__ import annotations
 import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
-from typing import ClassVar, List, Mapping, Optional, Type
+from typing import ClassVar, List, Mapping, Optional, Tuple, Type
 
 from repro.accel.synthesis import LogicBlock, noc_power
 from repro.memmgmt.addrspace import UnifiedAddressSpace
@@ -160,6 +160,71 @@ class AcceleratorCore(ABC):
         return AccelExecution(
             result=ExecResult(time=time, energy=energy),
             mem=mem, t_compute=t_compute, freq_hz=freq)
+
+    # -- datapath footprint ---------------------------------------------------
+
+    def operand_spans(self, params, count: int = 1, strides=None,
+                      writes: bool = False) -> List[Tuple[int, int]]:
+        """Physical ``(start, size)`` byte extents of this invocation's
+        DRAM streams in one direction (reads, or writes with
+        ``writes=True``).
+
+        This is the operand footprint the in-datapath ECC layer
+        (:class:`~repro.faults.datapath.DatapathEcc`) adjudicates before
+        the tiles stream the data off the TSVs. For looped COMPs the
+        extents are widened over the whole loop: stream bases are affine
+        in the address-typed parameters, so the loop's footprint is
+        bracketed by the two corner iterations where every field sits at
+        its minimum / maximum accumulated offset.
+        """
+        def span(stream: StreamSpec) -> Tuple[int, int]:
+            if stream.kind == "gather":
+                return stream.base, stream.region_bytes
+            if stream.kind == "blocked":
+                blocks = -(-stream.n_elems // stream.block_elems)
+                size = ((blocks - 1) * stream.block_stride
+                        + stream.block_elems * stream.elem_bytes)
+                return stream.base, size
+            step = stream.stride or stream.elem_bytes
+            reach = (stream.n_elems - 1) * step
+            lo = stream.base + min(0, reach)
+            return lo, abs(reach) + stream.elem_bytes
+
+        def direction(p) -> List[StreamSpec]:
+            return [s for s in self.streams(p)
+                    if s.is_write == writes and s.n_elems > 0]
+
+        base_streams = direction(params)
+        spans = [span(s) for s in base_streams]
+        if strides is None or not spans:
+            return spans
+        if not isinstance(strides, StrideTable):
+            strides = linear_strides(type(params), strides)
+        iters = strides.total if strides.trips != (0,) else max(count, 1)
+        if iters <= 1:
+            return spans
+        corners = {"lo": {}, "hi": {}}
+        for field, deltas in strides.deltas.items():
+            lo_off = hi_off = 0
+            for level, delta in enumerate(deltas):
+                trip = strides.trips[level] or max(count, 1)
+                reach = delta * (trip - 1)
+                lo_off += min(0, reach)
+                hi_off += max(0, reach)
+            if lo_off:
+                corners["lo"][field] = getattr(params, field) + lo_off
+            if hi_off:
+                corners["hi"][field] = getattr(params, field) + hi_off
+        for updates in corners.values():
+            if not updates:
+                continue
+            for idx, s in enumerate(direction(replace(params, **updates))):
+                start, size = span(s)
+                old_start, old_size = spans[idx]
+                end = max(old_start + old_size, start + size)
+                start = min(old_start, start)
+                spans[idx] = (start, end - start)
+        return spans
 
     # -- descriptor plumbing --------------------------------------------------
 

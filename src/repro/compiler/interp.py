@@ -20,14 +20,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
 from repro.accel.base import pack_strides
-from repro.compiler.cast import (AddrOf, Assign, BinOp, Call, ExprStmt,
-                                 For, Ident, Index, Num, Program, Sizeof,
-                                 VarDecl)
+from repro.compiler.cast import (Assign, Call, Expr, ExprStmt, For,
+                                 Ident, Program, Stmt, VarDecl)
 from repro.compiler.inline import inline_body
 from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
                                        HostCallStep, PlanDestroyStep,
@@ -208,7 +207,7 @@ class OriginalInterpreter:
 
     # -- evaluation ------------------------------------------------------------
 
-    def _eval_scalar(self, expr):
+    def _eval_scalar(self, expr: Expr) -> Union[int, float]:
         try:
             return self.env.eval_const(expr)
         except SemanticError:
@@ -216,7 +215,7 @@ class OriginalInterpreter:
         affine = self.env.affine_expr(expr)
         return affine.evaluate(self.bindings)
 
-    def _eval_pointer(self, expr) -> ArrayRef:
+    def _eval_pointer(self, expr: Expr) -> ArrayRef:
         buf, offset = self.env.buffer_address(expr)
         info = self.env.buffers[buf]
         byte_off = offset.evaluate(self.bindings)
@@ -225,7 +224,7 @@ class OriginalInterpreter:
         return ArrayRef(array=self.arrays[buf],
                         offset=byte_off // info.elem_size)
 
-    def _eval_args(self, name: str, raw_args) -> List:
+    def _eval_args(self, name: str, raw_args: Sequence[Expr]) -> List:
         sig = _SIGNATURES[name]
         if len(sig) != len(raw_args):
             raise InterpError(
@@ -267,18 +266,19 @@ class OriginalInterpreter:
                 self._materialize(name)
         return self.arrays
 
-    def _exec_block(self, stmts) -> None:
+    def _exec_block(self, stmts: Sequence[Stmt]) -> None:
         for stmt in stmts:
             self._exec_stmt(stmt)
 
-    def _exec_stmt(self, stmt) -> None:
+    def _exec_stmt(self, stmt: Stmt) -> None:
         if isinstance(stmt, VarDecl):
             if stmt.name in self.env.buffers and not stmt.pointer:
                 self._materialize(stmt.name)
             return
         if isinstance(stmt, Assign):
             if isinstance(stmt.value, Call):
-                if stmt.value.func == "malloc":
+                if stmt.value.func == "malloc" \
+                        and isinstance(stmt.target, Ident):
                     self._materialize(stmt.target.name)
                     return
                 if stmt.value.func == "fftwf_plan_guru_dft":
@@ -294,8 +294,8 @@ class OriginalInterpreter:
             self._eval_call(call)
             return
         if isinstance(stmt, For):
-            bound = self._eval_scalar(stmt.bound)
-            start = self._eval_scalar(stmt.start)
+            bound = int(self._eval_scalar(stmt.bound))
+            start = int(self._eval_scalar(stmt.start))
             saved = self.bindings.get(stmt.var)
             for value in range(start, bound, stmt.step):
                 self.bindings[stmt.var] = value
@@ -331,9 +331,9 @@ class OriginalInterpreter:
                        self._eval_args(call.func, call.args))
 
 
-def _looped_step_buffers(step, env: CompileEnv) -> int:
+def _looped_step_buffers(step: object, env: CompileEnv) -> int:
     """Distinct bytes a looped call site touches across all trips."""
-    names = set()
+    names: Set[str] = set()
     if isinstance(step, AccelCallStep):
         names.update(step.in_bufs)
         names.update(step.out_bufs)
@@ -380,7 +380,8 @@ def _original_timing(translated: TranslatedProgram,
     return total
 
 
-def run_original(source, host: Optional[CpuModel] = None,
+def run_original(source: Union[str, Program],
+                 host: Optional[CpuModel] = None,
                  inputs: Optional[Dict[str, np.ndarray]] = None
                  ) -> RunOutcome:
     """Execute the legacy program as-is on the host library."""
@@ -479,7 +480,7 @@ class TranslatedRunner:
             time=per_call.time * calls + overhead_t,
             energy=per_call.energy * calls + overhead_t * per_call.power))
 
-    def _pointer_buffers(self, step: HostCallStep):
+    def _pointer_buffers(self, step: HostCallStep) -> Iterator[str]:
         sig = _SIGNATURES[step.func]
         for kind, expr in zip(sig, step.args):
             if kind == "p":
@@ -498,7 +499,7 @@ class TranslatedRunner:
     def _run_descriptor(self, group: DescriptorStep) -> None:
         store = ParamStore()
         tdl_lines: List[str] = []
-        touched: set = set()
+        touched: Set[str] = set()
         counter = 0
 
         def add_comp(step: AccelCallStep, looped: bool) -> str:
@@ -541,7 +542,8 @@ class TranslatedRunner:
         self.system.runtime.acc_destroy(plan)
 
 
-def run_translated(source, system: Optional[MealibSystem] = None,
+def run_translated(source: Union[str, Program, TranslatedProgram],
+                   system: Optional[MealibSystem] = None,
                    inputs: Optional[Dict[str, np.ndarray]] = None,
                    functional: bool = True) -> RunOutcome:
     """Compile the legacy program and execute it on MEALib.
@@ -558,8 +560,8 @@ def run_translated(source, system: Optional[MealibSystem] = None,
     return runner.run()
 
 
-def baseline_timing(source, host: Optional[CpuModel] = None
-                    ) -> RunOutcome:
+def baseline_timing(source: Union[str, Program, TranslatedProgram],
+                    host: Optional[CpuModel] = None) -> RunOutcome:
     """Time the original program on the host library without running
     its numerics (for paper-scale problem sizes)."""
     host = host if host is not None else haswell()

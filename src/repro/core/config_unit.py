@@ -32,6 +32,7 @@ from repro.core.descriptor import (CMD_START, CR_BYTES, INSTR_BYTES,
                                    KIND_ACCEL, KIND_ENDLOOP, KIND_ENDPASS,
                                    KIND_LOOP, decode_control,
                                    decode_instructions, verify_integrity)
+from repro.faults.datapath import DatapathEcc
 from repro.faults.injector import CuHangError, FaultInjector
 from repro.memmgmt.addrspace import UnifiedAddressSpace
 from repro.memsys.device import MemoryDevice
@@ -215,12 +216,14 @@ class ConfigurationUnit:
     def __init__(self, layer: AcceleratorLayer,
                  space: UnifiedAddressSpace, device: MemoryDevice,
                  noc: Optional[MeshNoc] = None,
-                 faults: Optional[FaultInjector] = None):
+                 faults: Optional[FaultInjector] = None,
+                 datapath: Optional[DatapathEcc] = None):
         self.layer = layer
         self.space = space
         self.device = device
         self.noc = noc if noc is not None else layer.noc
         self.faults = faults
+        self.datapath = datapath
 
     # -- decode ---------------------------------------------------------------
 
@@ -346,6 +349,30 @@ class ConfigurationUnit:
     def _release_tiles(self) -> None:
         for tile in self.layer.tiles.values():
             tile.release()
+
+    def _guard_datapath(self, plans: List[PassPlan]) -> None:
+        """Adjudicate the descriptor's operand footprint through the
+        in-datapath SECDED layer before the tiles stream anything.
+
+        Only the DRAM-touching streams are guarded — a chained pass's
+        first COMP reads and last COMP writes (matching
+        :meth:`_pass_terms`); intermediates ride the tile local
+        memories and never cross the TSVs. Raises
+        :class:`~repro.faults.ecc.UncorrectableEccError` on a detected
+        double-bit word, *before* any functional effect, so the
+        runtime's retry re-executes a clean descriptor.
+        """
+        if self.datapath is None:
+            return
+        reads: List[Tuple[int, int]] = []
+        writes: List[Tuple[int, int]] = []
+        for plan in plans:
+            first, last = plan.comps[0], plan.comps[-1]
+            reads.extend(first.core.operand_spans(
+                first.params, plan.count, first.strides, writes=False))
+            writes.extend(last.core.operand_spans(
+                last.params, plan.count, last.strides, writes=True))
+        self.datapath.guard(reads, writes)
 
     def run_functional(self, plan: PassPlan) -> None:
         """Numerically execute one pass plan against physical memory.
@@ -539,6 +566,7 @@ class ConfigurationUnit:
             image = self.fetch(desc_pa, desc_bytes)
             plans = self.plans_from_image(image, desc_pa,
                                           require_start=True)
+            self._guard_datapath(plans)
             fetch_time = FU_FETCH_LATENCY + desc_bytes / FU_FETCH_BW
             total = ExecResult(time=fetch_time,
                                energy=fetch_time * CU_POWER)

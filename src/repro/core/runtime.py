@@ -26,11 +26,14 @@ surviving tiles (the excess lands in the ``reroute`` ledger category),
 and only when no tile at all can serve the descriptor — every tile
 dead, or a vault cut off by NoC link failures — does execution degrade
 to the host's equivalent ``repro.mkl`` profiles. The call always
-returns a numerically correct result. Resilience costs are accounted
-in dedicated ledger categories (``fault``, ``retry``, ``fallback``,
-``reroute``); none of them appear when no fault occurs, so the
-fault-free path is bit-for-bit and joule-for-joule identical to the
-unhardened runtime.
+returns a numerically correct result. Latent cell flips on the
+accelerators' direct-TSV datapath are adjudicated by an in-datapath
+SECDED layer at operand fetch, and a background patrol scrubber can
+drain them between executes before singles pair into uncorrectable
+words. Resilience costs are accounted in dedicated ledger categories
+(``fault``, ``retry``, ``fallback``, ``reroute``, ``scrub``); none of
+them appear when no fault occurs, so the fault-free path is
+bit-for-bit and joule-for-joule identical to the unhardened runtime.
 """
 
 from __future__ import annotations
@@ -46,8 +49,10 @@ from repro.core.descriptor import (CMD_IDLE, CMD_START,
                                    EncodedDescriptor, encode, set_command)
 from repro.core.invocation import InvocationModel
 from repro.core.tdl import ParamStore, TdlProgram, parse_tdl
+from repro.faults.datapath import DatapathEcc
 from repro.faults.ecc import UncorrectableEccError
 from repro.faults.injector import CuHangError, FaultInjector
+from repro.faults.scrub import PatrolScrubber
 from repro.memmgmt.addrspace import MappedBuffer, UnifiedAddressSpace
 from repro.memmgmt.allocator import ContiguousAllocator
 from repro.metrics import ExecResult, ZERO
@@ -101,6 +106,7 @@ class ResilienceCounters:
     ecc_corrections: int = 0
     degraded_executes: int = 0
     rerouted_stripes: int = 0
+    scrub_passes: int = 0
 
     @property
     def availability(self) -> float:
@@ -144,10 +150,13 @@ class Ledger:
     Categories: ``host`` (compute-bounded library calls), ``invocation``
     (per-execute host overhead), ``accelerator`` (descriptor
     execution), plus the resilience categories ``fault`` (detection and
-    correction costs), ``retry`` (descriptor re-delivery and backoff),
-    ``reroute`` (the excess of running degraded: mesh detours and
-    rerouted vault stripes) and ``fallback`` (host execution when no
-    tile can serve the work).
+    correction costs, including the datapath ECC layer's re-decode
+    drain of dirty codewords), ``retry`` (descriptor re-delivery and
+    backoff), ``reroute`` (the excess of running degraded: mesh detours
+    and rerouted vault stripes), ``fallback`` (host execution when no
+    tile can serve the work) and ``scrub`` (background patrol passes
+    draining latent cell flips — maintenance overlapped with the host,
+    so it is ledgered but never added to an execute's returned cost).
     """
 
     entries: List[LedgerEntry] = field(default_factory=list)
@@ -195,13 +204,17 @@ class MealibRuntime:
                  invocation: Optional[InvocationModel] = None,
                  host=None,
                  faults: Optional[FaultInjector] = None,
-                 policy: Optional[ResiliencePolicy] = None):
+                 policy: Optional[ResiliencePolicy] = None,
+                 datapath: Optional[DatapathEcc] = None,
+                 scrubber: Optional[PatrolScrubber] = None):
         self.space = space
         self.cu = config_unit
         self.invocation = (invocation if invocation is not None
                            else InvocationModel())
         self.host = host                  # CpuModel for degraded execution
         self.faults = faults
+        self.datapath = datapath
+        self.scrubber = scrubber
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.counters = ResilienceCounters()
         self.ledger = Ledger()
@@ -261,6 +274,20 @@ class MealibRuntime:
                                          plan.working_set_bytes)
         self.ledger.log("invocation", "invocation", overhead)
         self.counters.executes += 1
+        # one step's worth of latent cell upsets lands before the step
+        # runs, outside the retry loop: deposits draw from a dedicated
+        # PRNG stream, so the campaign's flip placement is identical
+        # whatever the scrub policy or retry count
+        if self.faults is not None and self.datapath is not None:
+            self.faults.deposit_latent_flips(
+                self.datapath.phys.regions())
+        try:
+            return self._execute_hardened(plan, functional, overhead)
+        finally:
+            self._scrub_tick()
+
+    def _execute_hardened(self, plan: AccPlan, functional: bool,
+                          overhead: ExecResult) -> ExecResult:
         total = overhead
         attempt = 0
         while True:
@@ -319,15 +346,38 @@ class MealibRuntime:
         self.space.pa_write(plan.descriptor.base_pa, bytes(buf))
 
     def _drain_correction_costs(self) -> ExecResult:
-        """Charge ECC single-bit corrections accumulated since the last
-        drain to the ``fault`` ledger."""
-        if self.faults is None:
-            return ZERO
-        cost, corrections = self.faults.drain_correction_cost()
-        if corrections:
-            self.counters.ecc_corrections += corrections
-            self.ledger.log("fault", "ecc-correction", cost)
-        return cost
+        """Charge ECC costs accumulated since the last drain to the
+        ``fault`` ledger: correct-and-writeback events (per-read model,
+        datapath layer and patrol repairs alike) plus the datapath
+        layer's re-decode drain of dirty codewords."""
+        total = ZERO
+        if self.faults is not None:
+            cost, corrections = self.faults.drain_correction_cost()
+            if corrections:
+                self.counters.ecc_corrections += corrections
+                self.ledger.log("fault", "ecc-correction", cost)
+                total = total.plus(cost)
+        if self.datapath is not None:
+            stream = self.datapath.drain_stream_overhead()
+            if stream.time or stream.energy:
+                self.ledger.log("fault", "ecc-stream", stream)
+                total = total.plus(stream)
+        return total
+
+    def _scrub_tick(self) -> None:
+        """Account one completed execute with the patrol scrubber.
+
+        A due patrol runs between steps and its cost is ledgered under
+        ``scrub`` — background maintenance, never part of the execute's
+        returned cost. Inert (and free) without a scrubber or with
+        ``interval=0``, preserving the golden baselines.
+        """
+        if self.scrubber is None:
+            return
+        cost = self.scrubber.tick()
+        if cost is not None:
+            self.counters.scrub_passes += 1
+            self.ledger.log("scrub", "patrol", cost)
 
     def _account_fault(self, exc: Exception) -> ExecResult:
         """Ledger one detected fault; hangs pay the watchdog timeout."""

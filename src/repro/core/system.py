@@ -14,7 +14,9 @@ from repro.accel.layer import AcceleratorLayer
 from repro.core.config_unit import ConfigurationUnit
 from repro.core.invocation import InvocationModel
 from repro.core.runtime import MealibRuntime, ResiliencePolicy
+from repro.faults.datapath import DatapathEcc
 from repro.faults.injector import FaultInjector
+from repro.faults.scrub import PatrolScrubber, ScrubConfig
 from repro.host.cpu import CpuModel
 from repro.host.platforms import haswell
 from repro.memmgmt.addrspace import UnifiedAddressSpace
@@ -29,10 +31,14 @@ class MealibSystem:
 
     Passing a :class:`~repro.faults.injector.FaultInjector` wires fault
     injection (and the matching ECC protection and runtime hardening)
-    through every layer: the physical memory's read path, the stacked
-    DRAM's timing model, the configuration unit's fetch/doorbell path,
-    and the runtime's watchdog/retry/fallback machinery. With ``faults``
-    left ``None`` the system is exactly the unhardened baseline.
+    through every layer: the physical memory's read path, the
+    accelerators' direct-TSV datapath (in-datapath SECDED adjudication
+    of latent cell flips at operand fetch), the stacked DRAM's timing
+    model, the configuration unit's fetch/doorbell path, and the
+    runtime's watchdog/retry/fallback machinery. ``scrub`` additionally
+    arms a background patrol scrubber over the same injector. With
+    ``faults`` left ``None`` the system is exactly the unhardened
+    baseline.
     """
 
     def __init__(self, host: Optional[CpuModel] = None,
@@ -41,22 +47,32 @@ class MealibSystem:
                  layer: Optional[AcceleratorLayer] = None,
                  invocation: Optional[InvocationModel] = None,
                  faults: Optional[FaultInjector] = None,
-                 policy: Optional[ResiliencePolicy] = None):
+                 policy: Optional[ResiliencePolicy] = None,
+                 scrub: Optional[ScrubConfig] = None):
         self.host = host if host is not None else haswell()
         self.space = UnifiedAddressSpace(
             MealibDriver(stack_bytes=stack_bytes))
         self.device = device if device is not None else StackedDram()
         self.layer = layer if layer is not None else AcceleratorLayer()
         self.faults = faults
+        self.datapath = None
+        self.scrubber = None
         if faults is not None:
-            self.space.driver.phys.fault_hook = faults.dram_read
+            phys = self.space.driver.phys
+            phys.fault_hook = faults.dram_read
             if faults.config.ecc_enabled:
                 self.device.ecc = faults.ecc
+            self.datapath = DatapathEcc(faults, phys)
+            self.scrubber = PatrolScrubber(
+                faults, phys, scrub if scrub is not None else ScrubConfig())
         self.config_unit = ConfigurationUnit(self.layer, self.space,
-                                             self.device, faults=faults)
+                                             self.device, faults=faults,
+                                             datapath=self.datapath)
         self.runtime = MealibRuntime(self.space, self.config_unit,
                                      invocation, host=self.host,
-                                     faults=faults, policy=policy)
+                                     faults=faults, policy=policy,
+                                     datapath=self.datapath,
+                                     scrubber=self.scrubber)
 
     @property
     def ledger(self):

@@ -3,19 +3,25 @@
 The subsystems expose small hooks that stay inert (and free) when no
 injector is attached; :class:`~repro.core.system.MealibSystem` wires an
 injector through the physical memory, the memory device, the
-configuration unit, and the runtime when one is passed.
+configuration unit, and the runtime when one is passed. The datapath
+ECC layer (:mod:`repro.faults.datapath`) and patrol scrubber
+(:mod:`repro.faults.scrub`) ride the same wiring to cover the
+accelerators' zero-copy TSV reads.
 """
 
+from repro.faults.datapath import DatapathEcc, DatapathStats, merge_ranges
 from repro.faults.ecc import (ECC_WORD_BITS, OUTCOME_CLEAN,
                               OUTCOME_CORRECTED, OUTCOME_DETECTED,
                               OUTCOME_SILENT, SecdedModel,
-                              UncorrectableEccError)
+                              UncorrectableEccError, popcount)
 from repro.faults.injector import (CuHangError, FaultConfig, FaultInjector,
                                    FaultStats)
+from repro.faults.scrub import PatrolScrubber, ScrubConfig, ScrubStats
 
 __all__ = [
     "ECC_WORD_BITS", "OUTCOME_CLEAN", "OUTCOME_CORRECTED",
     "OUTCOME_DETECTED", "OUTCOME_SILENT", "SecdedModel",
     "UncorrectableEccError", "CuHangError", "FaultConfig", "FaultInjector",
-    "FaultStats",
+    "FaultStats", "DatapathEcc", "DatapathStats", "merge_ranges",
+    "PatrolScrubber", "ScrubConfig", "ScrubStats", "popcount",
 ]

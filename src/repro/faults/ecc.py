@@ -28,6 +28,11 @@ from repro.metrics import ExecResult
 #: Data bits covered by one SECDED codeword.
 ECC_WORD_BITS = 64
 
+
+def popcount(mask: int) -> int:
+    """Number of set bits in a codeword's flip mask (py3.9-safe)."""
+    return bin(mask).count("1")
+
 #: Outcomes of adjudicating one codeword.
 OUTCOME_CLEAN = "clean"
 OUTCOME_CORRECTED = "corrected"

@@ -13,6 +13,20 @@ its seed:
   :class:`~repro.faults.ecc.UncorrectableEccError`, and triple-plus
   flips (or any flip with ECC disabled) silently corrupt the returned
   bytes.
+* **Latent cell flips** — with per-bit probability
+  ``latent_flip_rate`` per accelerated step, upsets land in the DRAM
+  *cells* of backed physical memory and stay there (the injector's
+  latent-flip map) until something adjudicates the word: the
+  accelerators' direct-TSV datapath
+  (:class:`~repro.faults.datapath.DatapathEcc`) on operand fetch, the
+  background patrol scrubber
+  (:class:`~repro.faults.scrub.PatrolScrubber`) between steps, or a
+  write that re-encodes the codeword. Unlike the per-read model above,
+  latent flips *accumulate*: two singles landing in the same word pair
+  into an uncorrectable double — the failure mode patrol scrubbing
+  exists to prevent. Deposits draw from a dedicated PRNG stream, so a
+  campaign's flip placement is identical across scrub-interval
+  settings.
 * **Descriptor-word corruption** — with probability
   ``descriptor_corruption_rate`` per fetch, one aligned 32-bit word of
   the fetched descriptor image is replaced with a different random
@@ -41,7 +55,7 @@ The injector is pure policy: the subsystems own small hooks
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +75,7 @@ class FaultConfig:
 
     seed: int = 0
     dram_bit_error_rate: float = 0.0        # per data bit per read
+    latent_flip_rate: float = 0.0            # per backed bit per step
     descriptor_corruption_rate: float = 0.0  # per descriptor fetch
     hang_rate: float = 0.0                   # per doorbell
     tile_fail_rate: float = 0.0              # per descriptor execution
@@ -69,7 +84,8 @@ class FaultConfig:
     ecc_enabled: bool = True
 
     def __post_init__(self) -> None:
-        for name in ("dram_bit_error_rate", "descriptor_corruption_rate",
+        for name in ("dram_bit_error_rate", "latent_flip_rate",
+                     "descriptor_corruption_rate",
                      "hang_rate", "tile_fail_rate", "link_fail_rate",
                      "link_flap_rate"):
             rate = getattr(self, name)
@@ -86,6 +102,8 @@ class FaultStats:
     words_corrected: int = 0
     words_uncorrectable: int = 0
     words_silent: int = 0
+    latent_flips_deposited: int = 0
+    words_rewritten: int = 0                 # latent flips dropped by writes
     descriptor_corruptions: int = 0
     cu_hangs: int = 0
     tile_failures: int = 0
@@ -131,13 +149,21 @@ class FaultInjector:
         self.ecc = ecc if ecc is not None else SecdedModel()
         self.stats = FaultStats()
         self._rng = np.random.default_rng(self.config.seed)
+        # latent cell flips draw from their own stream so that scrub
+        # policy (which consumes no randomness) can never perturb the
+        # deposit sequence of a seeded campaign
+        self._latent_rng = np.random.default_rng((self.config.seed, 1))
         self._pending_corrections = 0
+        #: 8-byte-aligned word address -> 64-bit mask of flipped cells
+        self._latent: Dict[int, int] = {}
 
     def reset(self) -> None:
-        """Re-seed the PRNG and zero the statistics."""
+        """Re-seed the PRNGs and zero the statistics and latent map."""
         self._rng = np.random.default_rng(self.config.seed)
+        self._latent_rng = np.random.default_rng((self.config.seed, 1))
         self.stats.clear()
         self._pending_corrections = 0
+        self._latent.clear()
 
     # -- DRAM data path (PhysicalMemory.fault_hook) --------------------------
 
@@ -186,6 +212,102 @@ class FaultInjector:
         n = self._pending_corrections
         self._pending_corrections = 0
         return self.ecc.correction_cost(n), n
+
+    def queue_correction(self, n: int = 1) -> None:
+        """Queue ``n`` correct-and-writeback events for the next drain.
+
+        Used by the datapath ECC layer and the patrol scrubber, whose
+        corrections ride the same ledger plumbing as the per-read model's.
+        """
+        self._pending_corrections += n
+
+    # -- latent cell flips (the accelerator datapath / scrub model) ----------
+
+    @property
+    def latent_word_count(self) -> int:
+        """Words currently carrying at least one latent cell flip."""
+        return len(self._latent)
+
+    def plant_latent_flips(self, addr: int, bits: Sequence[int]) -> int:
+        """Plant cell flips in the 64-bit codeword containing ``addr``.
+
+        ``bits`` are bit offsets (0..63) within that codeword. Returns
+        the word's 8-byte-aligned physical address. Test hook: lets a
+        fault battery construct exact single/double/triple-bit words.
+        """
+        word = addr & ~(ECC_WORD_BITS // 8 - 1)
+        mask = self._latent.get(word, 0)
+        for bit in bits:
+            if not 0 <= bit < ECC_WORD_BITS:
+                raise ValueError(f"bit offset {bit} outside the codeword")
+            mask |= 1 << bit
+        if mask:
+            self._latent[word] = mask
+            self.stats.latent_flips_deposited += len(bits)
+        return word
+
+    def deposit_latent_flips(
+            self, regions: Sequence[Tuple[int, int]]) -> int:
+        """One accelerated step's worth of new latent cell flips.
+
+        Draws ``Binomial(total backed bits, latent_flip_rate)`` upset
+        positions uniformly over the given ``(start, size)`` regions and
+        ORs them into the latent map (an upset pins the cell to a wrong
+        value; a second hit on the same cell changes nothing). Returns
+        the number of flips deposited. Consumes the dedicated latent
+        PRNG identically regardless of scrub or read activity.
+        """
+        rate = self.config.latent_flip_rate
+        if rate <= 0.0 or not regions:
+            return 0
+        total_bits = sum(size for _, size in regions) * 8
+        if total_bits <= 0:
+            return 0
+        k = int(self._latent_rng.binomial(total_bits, rate))
+        if k == 0:
+            return 0
+        k = min(k, total_bits)
+        positions = self._latent_rng.choice(total_bits, size=k,
+                                            replace=False)
+        word_mask = ECC_WORD_BITS // 8 - 1
+        for pos in sorted(int(p) for p in positions):
+            rest = pos
+            for start, size in regions:
+                if rest < size * 8:
+                    byte = start + rest // 8
+                    word = byte & ~word_mask
+                    bit = (byte - word) * 8 + rest % 8
+                    self._latent[word] = self._latent.get(word, 0) \
+                        | (1 << bit)
+                    break
+                rest -= size * 8
+        self.stats.latent_flips_deposited += k
+        return k
+
+    def latent_words(self, ranges: Sequence[Tuple[int, int]]
+                     ) -> List[Tuple[int, int]]:
+        """``(word, mask)`` latent entries overlapping any ``(start,
+        size)`` byte range, in ascending word order."""
+        if not self._latent or not ranges:
+            return []
+        word_bytes = ECC_WORD_BITS // 8
+        out = []
+        for word, mask in self._latent.items():
+            for start, size in ranges:
+                if word + word_bytes > start and word < start + size:
+                    out.append((word, mask))
+                    break
+        out.sort()
+        return out
+
+    def all_latent_words(self) -> List[Tuple[int, int]]:
+        """Every latent ``(word, mask)`` entry, ascending (for patrol)."""
+        return sorted(self._latent.items())
+
+    def clear_latent_word(self, word: int) -> None:
+        """Drop a word's latent flips (corrected, repaired, or
+        overwritten by a re-encoding write)."""
+        self._latent.pop(word, None)
 
     # -- command path (ConfigurationUnit hooks) ------------------------------
 

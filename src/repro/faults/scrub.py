@@ -1,0 +1,129 @@
+"""Background patrol scrubbing of latent DRAM cell flips.
+
+Latent single-bit upsets are harmless on their own — SECDED corrects
+them the moment anything reads the word. The danger is *pairing*: two
+singles accumulating in the same 64-bit codeword become a detected-but-
+uncorrectable double. A patrol scrubber bounds the window in which a
+single can sit unread: every ``interval`` accelerated steps it walks
+backed physical memory, re-encoding every word through the SECDED
+pipeline — singles are corrected and written back, doubles are repaired
+from the host's coherent copy (counted, but off the demand path, so
+they never abort a step), and triple-plus words alias silently into the
+backing store just as they would on a demand read.
+
+The walk is priced like hardware patrol: streaming every *backed* byte
+through the vault controllers at ``bandwidth`` with a per-byte patrol
+energy, plus the usual correct-and-writeback cost per repaired word.
+The runtime charges it to the ledger's ``scrub`` category — background
+maintenance, deliberately separate from the ``fault`` category that
+prices demand-path adjudication.
+
+``interval=0`` disables patrol entirely: :meth:`PatrolScrubber.tick`
+never fires, no ledger entries appear, and the run is bit-identical to
+one without a scrubber — the golden-baseline guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.faults.ecc import (OUTCOME_CORRECTED, OUTCOME_DETECTED,
+                              SecdedModel, popcount)
+from repro.faults.injector import FaultInjector
+from repro.memmgmt.physmem import PhysicalMemory
+from repro.metrics import ExecResult, ZERO
+
+
+@dataclass(frozen=True)
+class ScrubConfig:
+    """Patrol-scrub policy and cost constants.
+
+    Attributes:
+        interval: accelerated steps between patrol passes; 0 disables.
+        bandwidth: patrol streaming bandwidth over backed memory, B/s.
+        e_patrol_per_byte: patrol read-verify energy per byte, J.
+    """
+
+    interval: int = 0
+    bandwidth: float = 12.8e9
+    e_patrol_per_byte: float = 6e-12
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise ValueError(f"interval must be >= 0, got {self.interval}")
+        if self.bandwidth <= 0.0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+
+@dataclass
+class ScrubStats:
+    """What patrol passes found and fixed (off the demand path)."""
+
+    passes: int = 0
+    bytes_scanned: int = 0
+    words_corrected: int = 0        # latent singles drained
+    words_repaired: int = 0         # at-rest doubles, host-repaired
+    words_silent: int = 0           # triple-plus, aliased into cells
+
+    def clear(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+class PatrolScrubber:
+    """Walks backed physical memory between steps, draining latent flips."""
+
+    def __init__(self, injector: FaultInjector, phys: PhysicalMemory,
+                 config: Optional[ScrubConfig] = None,
+                 ecc: Optional[SecdedModel] = None):
+        self.injector = injector
+        self.phys = phys
+        self.config = config if config is not None else ScrubConfig()
+        self.ecc = ecc if ecc is not None else injector.ecc
+        self.stats = ScrubStats()
+        self._steps_since_scrub = 0
+
+    def tick(self) -> Optional[ExecResult]:
+        """Account one completed accelerated step; patrol when due.
+
+        Returns the pass's cost when a patrol ran, else ``None``.
+        """
+        if self.config.interval <= 0:
+            return None
+        self._steps_since_scrub += 1
+        if self._steps_since_scrub < self.config.interval:
+            return None
+        self._steps_since_scrub = 0
+        return self.scrub()
+
+    def scrub(self) -> ExecResult:
+        """One full patrol pass over backed physical memory."""
+        inj = self.injector
+        ecc_on = inj.config.ecc_enabled
+        corrections = 0
+        for word, mask in inj.all_latent_words():
+            outcome = (self.ecc.classify(popcount(mask)) if ecc_on
+                       else None)
+            if outcome == OUTCOME_CORRECTED:
+                self.stats.words_corrected += 1
+                corrections += 1
+            elif outcome == OUTCOME_DETECTED:
+                # at-rest double: repaired from the host's coherent copy
+                # (one writeback), never surfaces on the demand path
+                self.stats.words_repaired += 1
+                corrections += 1
+            else:
+                # ECC off, or >= 3 flips aliasing to a valid codeword:
+                # the patrol write-back pins the corruption into the cells
+                self.stats.words_silent += 1
+                self.phys.apply_flips(word, mask)
+            inj.clear_latent_word(word)
+        self.stats.passes += 1
+        scanned = sum(size for _, size in self.phys.regions())
+        self.stats.bytes_scanned += scanned
+        cost = ExecResult(time=scanned / self.config.bandwidth,
+                          energy=scanned * self.config.e_patrol_per_byte)
+        if corrections:
+            cost = cost.plus(self.ecc.correction_cost(corrections))
+        return cost if scanned or corrections else ZERO

@@ -27,8 +27,11 @@ class PhysicalMemory:
     :meth:`read` passes its result through ``hook(addr, data)``, which
     may return modified bytes (bit flips) or raise (uncorrectable ECC).
     Zero-copy :meth:`view`/:meth:`ndarray` paths model direct TSV access
-    by the accelerator datapath and bypass the hook. ``None`` (the
-    default) costs nothing.
+    by the accelerator datapath and bypass the hook — that path is
+    instead adjudicated at operand-fetch time by
+    :class:`~repro.faults.datapath.DatapathEcc`, which calls
+    :meth:`apply_flips` to land silent (aliased) corruption in the
+    backing store. ``None`` (the default) costs nothing.
     """
 
     def __init__(self, capacity: int):
@@ -104,6 +107,29 @@ class PhysicalMemory:
         count = int(np.prod(shape)) if shape else 1
         raw = self.view(addr, count * dtype.itemsize)
         return raw.view(dtype).reshape(shape)
+
+    def apply_flips(self, addr: int, mask: int) -> int:
+        """XOR a codeword's flip ``mask`` into the backing store.
+
+        ``addr`` is the (8-byte-aligned) word address; bit *i* of
+        ``mask`` flips bit ``i % 8`` of byte ``addr + i // 8``. Bits
+        that fall outside the backed region (a word straddling the end
+        of the last region) are dropped. Returns the number of bits
+        actually flipped. This is how silent (aliased) ECC corruption
+        becomes observable through the zero-copy datapath views.
+        """
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx < 0:
+            return 0
+        start, backing = self._regions[idx]
+        off = addr - start
+        flipped = 0
+        for i in range(8):
+            byte_mask = (mask >> (i * 8)) & 0xFF
+            if byte_mask and 0 <= off + i < len(backing):
+                backing[off + i] ^= byte_mask
+                flipped += bin(byte_mask).count("1")
+        return flipped
 
     def regions(self) -> List[Tuple[int, int]]:
         """List of (start, size) backed regions, ascending."""

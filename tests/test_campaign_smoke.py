@@ -22,12 +22,19 @@ POINT_KEYS = {
     "reroute_share", "total_time", "total_energy",
 }
 
+SCRUB_POINT_KEYS = {
+    "interval", "deposited", "demand_uncorrectable", "demand_corrected",
+    "demand_silent", "retries", "scrub_passes", "scrub_corrected",
+    "scrub_uncorrectable", "scrub_time", "scrub_energy", "scrub_share",
+}
+
 
 @pytest.fixture(scope="module")
 def payload(tmp_path_factory):
     out = tmp_path_factory.mktemp("campaign") / "campaign.json"
     rc = campaign.main(["--dead-tiles", "0", "1", "16",
                         "--failed-links", "0", "1",
+                        "--scrub-intervals", "0", "4", "2",
                         "--executes", "3", "--json", str(out)])
     assert rc == 0
     with out.open() as fh:
@@ -37,7 +44,8 @@ def payload(tmp_path_factory):
 def test_schema_is_stable(payload):
     assert payload["schema"] == campaign.SCHEMA
     assert set(payload) == {"schema", "executes", "seed", "rate_sweep",
-                            "tile_kill", "link_failure", "link_flap"}
+                            "tile_kill", "link_failure", "link_flap",
+                            "scrub_sweep"}
     for point in payload["rate_sweep"]:
         assert set(point) == POINT_KEYS | {"intensity", "detection"}
     for point in payload["tile_kill"]:
@@ -47,6 +55,8 @@ def test_schema_is_stable(payload):
         assert set(point) == POINT_KEYS | {"failed_links",
                                            "bisection_gbps",
                                            "link_flaps"}
+    for point in payload["scrub_sweep"]:
+        assert set(point) == SCRUB_POINT_KEYS
 
 
 def test_availability_declines_monotonically(payload):
@@ -69,8 +79,25 @@ def test_link_points_report_bisection(payload):
     assert flap["bisection_gbps"] == clean["bisection_gbps"]
 
 
+def test_scrub_sweep_uncorrectables_monotone(payload):
+    points = payload["scrub_sweep"]
+    assert [p["interval"] for p in points] == [0, 4, 2]
+    # the acceptance property, on the emitted JSON itself: a busier
+    # patrol never increases the demand-path uncorrectable rate
+    unc = [p["demand_uncorrectable"] for p in points]
+    assert unc == sorted(unc, reverse=True)
+    assert unc[0] > 0                        # unscrubbed doubles form
+    # scrub cost is the price, and it only exists when patrol runs
+    off, coarse, fine = points
+    assert off["scrub_passes"] == 0 and off["scrub_time"] == 0.0
+    assert 0 < coarse["scrub_time"] < fine["scrub_time"]
+    # deposits come off a dedicated PRNG stream: identical across policy
+    assert len({p["deposited"] for p in points}) == 1
+
+
 def test_stdout_mode_round_trips(capsys):
     rc = campaign.main(["--dead-tiles", "0", "--failed-links", "0",
+                        "--scrub-intervals", "0",
                         "--executes", "1", "--json", "-"])
     assert rc == 0
     out = json.loads(capsys.readouterr().out)

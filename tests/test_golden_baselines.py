@@ -6,8 +6,12 @@ modelled time, energy and ledger totals match the checked-in JSON
 *exactly* — bit-for-bit and joule-for-joule. A second, seeded matrix
 pins the *degraded* paths: every op once with one dead tile (per-vault
 fallback reroutes its stripes) and once with one failed mesh link
-(adaptive rerouting detours around it). Any PR that drifts either
-model must regenerate the baselines on purpose:
+(adaptive rerouting detours around it). A third pins the *scrub-on*
+path: every op under seeded latent cell upsets with the background
+patrol scrubber armed (in-datapath SECDED adjudication + patrol
+draining, both deterministic from the injector's dedicated PRNG
+stream). Any PR that drifts any model must regenerate the baselines
+on purpose:
 
     PYTHONPATH=src python tests/test_golden_baselines.py
 """
@@ -21,11 +25,11 @@ import pytest
 
 from repro.core import MealibSystem, ParamStore
 from repro.eval.workloads import TABLE2
-from repro.faults import FaultInjector
+from repro.faults import FaultInjector, ScrubConfig
 
 GOLDEN_PATH = Path(__file__).parent / "golden_baselines.json"
 
-SCHEMA = "golden-baselines/v2"
+SCHEMA = "golden-baselines/v3"
 
 #: The pinned workload matrix: op x data-set scale.
 OPS = ("DOT", "AXPY", "GEMV", "SPMV", "FFT", "RESMP")
@@ -35,6 +39,11 @@ SCALES = (0.004, 0.016, 0.064)
 DEGRADED_SCALE = 0.016
 DEGRADED_MODES = ("dead-tile", "failed-link")
 FAULT_SEED = 4
+
+#: Scrub-on matrix: seeded latent upsets + patrol every 2nd execute.
+SCRUB_INTERVAL = 2
+SCRUB_EXECUTES = 4
+SCRUB_RATE = 1e-5
 
 #: Ledger categories that must stay exactly zero on a fault-free run.
 RESILIENCE_CATEGORIES = ("fault", "retry", "reroute", "fallback")
@@ -98,17 +107,48 @@ def run_degraded(op: str, mode: str):
             "fallback": [fallback.time, fallback.energy]}
 
 
+def run_scrubbed(op: str):
+    """One op under seeded latent upsets with patrol scrubbing armed.
+
+    Every layer of the new machinery runs: deposits land each execute
+    (dedicated PRNG stream, so the sequence is exact), the in-datapath
+    SECDED guard adjudicates the operand footprint at each fetch, and
+    the patrol pass drains whatever sits at rest every
+    ``SCRUB_INTERVAL`` executes, charging the ``scrub`` ledger.
+    """
+    faults = FaultInjector(seed=FAULT_SEED, latent_flip_rate=SCRUB_RATE)
+    system = MealibSystem(stack_bytes=64 << 20, faults=faults,
+                          scrub=ScrubConfig(interval=SCRUB_INTERVAL))
+    time = energy = 0.0
+    for _ in range(SCRUB_EXECUTES):
+        result = _execute_op(system, op, DEGRADED_SCALE)
+        time += result.time
+        energy += result.energy
+    counters = system.runtime.counters
+    fault = system.ledger.total("fault")
+    scrub = system.ledger.total("scrub")
+    return {"time": time, "energy": energy,
+            "fault": [fault.time, fault.energy],
+            "scrub": [scrub.time, scrub.energy],
+            "scrub_passes": counters.scrub_passes,
+            "ecc_corrections": counters.ecc_corrections,
+            "demand_corrected": system.datapath.stats.words_corrected,
+            "scrub_corrected": system.scrubber.stats.words_corrected,
+            "deposited": faults.stats.latent_flips_deposited}
+
+
 def compute_baselines():
     return {
         "schema": SCHEMA,
-        "note": ("Exact fault-free and seeded degraded-mode "
-                 "time/energy/ledger values. Regenerate deliberately "
-                 "with: PYTHONPATH=src python "
+        "note": ("Exact fault-free, seeded degraded-mode and seeded "
+                 "scrub-on time/energy/ledger values. Regenerate "
+                 "deliberately with: PYTHONPATH=src python "
                  "tests/test_golden_baselines.py"),
         "workloads": {f"{op}@{scale}": run_workload(op, scale)
                       for op in OPS for scale in SCALES},
         "degraded": {f"{op}@{mode}": run_degraded(op, mode)
                      for op in OPS for mode in DEGRADED_MODES},
+        "scrubbed": {op: run_scrubbed(op) for op in OPS},
     }
 
 
@@ -131,6 +171,7 @@ def test_schema_and_coverage(golden):
     assert set(golden["workloads"]) == expected
     degraded = {f"{op}@{mode}" for op in OPS for mode in DEGRADED_MODES}
     assert set(golden["degraded"]) == degraded
+    assert set(golden["scrubbed"]) == set(OPS)
 
 
 @pytest.mark.parametrize("scale", SCALES)
@@ -164,6 +205,25 @@ def test_degraded_model_matches_golden_exactly(golden, op, mode):
     assert fresh == recorded, (
         f"{op}@{mode} degraded baseline drifted: {fresh!r} != "
         f"{recorded!r}")
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_scrubbed_model_matches_golden_exactly(golden, op):
+    recorded = golden["scrubbed"][op]
+    fresh = run_scrubbed(op)
+    assert fresh == recorded, (
+        f"{op} scrub-on baseline drifted: {fresh!r} != {recorded!r}")
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_scrubbed_runs_really_scrub(golden, op):
+    point = golden["scrubbed"][op]
+    # the patrol fired on schedule and charged the scrub ledger
+    assert point["scrub_passes"] == SCRUB_EXECUTES // SCRUB_INTERVAL
+    assert point["scrub"][0] > 0.0 and point["scrub"][1] > 0.0
+    # seeded upsets really landed and were adjudicated somewhere
+    assert point["deposited"] > 0
+    assert point["scrub_corrected"] + point["demand_corrected"] > 0
 
 
 @pytest.mark.parametrize("op", OPS)
