@@ -20,7 +20,14 @@ Four sweeps through the hardened runtime:
   the classic scrub-rate vs. reliability tradeoff. The intervals form
   a divisor chain (and deposits draw from a dedicated PRNG stream), so
   finer settings drain pointwise-superset flip sets and monotonicity
-  is a property, not luck.
+  is a property, not luck;
+* **thermal sweep** (``--thermal-sweep``, emitted separately as
+  ``BENCH_thermal.json``) — the power-envelope governor at tightening
+  envelope margins above ambient: a tighter envelope trips earlier and
+  releases later, so total throttle time never decreases as the margin
+  shrinks; plus an Arrhenius contrast pair (strong vs. starved
+  heatsink) showing the hotter stack accepts a pointwise superset of
+  the cooler stack's latent flips on every vault.
 
 Also checks the end-to-end acceptance properties: ECC-corrected runs
 are bit-exact against fault-free runs, and STAP still completes — on
@@ -41,6 +48,7 @@ from repro.accel import AxpyParams
 from repro.apps.stap import PRESETS, run_stap_mealib
 from repro.core import MealibSystem, ParamStore
 from repro.faults import FaultInjector, ScrubConfig
+from repro.thermal import AMBIENT_K, ThermalConfig
 
 #: Fault intensity knob: descriptor corruption at x, CU hangs at x/4,
 #: DRAM bit errors at x * 1e-4 per bit.
@@ -56,6 +64,18 @@ SCRUB_RATE = 3e-5
 SCRUB_EXECUTES = 30
 
 SCHEMA = "fault-campaign/v3"
+
+#: Thermal sweep: envelope margins in kelvin above ambient, tightening
+#: left to right (the working set heats vaults a couple of kelvin, so
+#: single-digit margins are the interesting regime), crossed with
+#: patrol intervals (0 disables); latent-upset rate for the Arrhenius
+#: coupling; and the hot working-set size that does the heating.
+THERMAL_SCHEMA = "thermal-campaign/v1"
+THERMAL_MARGINS = (4.0, 2.0, 1.0, 0.25)
+THERMAL_INTERVALS = (0, 4)
+THERMAL_RATE = 2e-5
+THERMAL_EXECUTES = 8
+THERMAL_N = 65536
 
 
 def make_system(faults=None):
@@ -194,6 +214,102 @@ def scrub_sweep_point(interval, seed=4, executes=SCRUB_EXECUTES,
     }
 
 
+def thermal_sweep_point(margin, interval=0, seed=4,
+                        executes=THERMAL_EXECUTES, rate=THERMAL_RATE):
+    """One envelope-margin setting of the thermal campaign.
+
+    A hot AXPY working set heats the stack while the governor watches
+    an envelope ``margin`` kelvin above ambient. A tighter margin trips
+    earlier and (with the hysteresis band reaching below the ambient
+    floor) never releases, so total throttle time is monotone in the
+    margin. Latent flips deposit through the Arrhenius thinning path,
+    and an optional patrol scrubber adds its walk heat to the vaults
+    it scans.
+    """
+    faults = FaultInjector(seed=seed, latent_flip_rate=rate)
+    system = MealibSystem(
+        stack_bytes=256 << 20, faults=faults,
+        scrub=ScrubConfig(interval=interval) if interval else None,
+        thermal=ThermalConfig(envelope=AMBIENT_K + margin))
+    plan, _ = make_axpy_plan(system, n=THERMAL_N)
+    for _ in range(executes):
+        system.runtime.acc_execute(plan, functional=False)
+    throttle = system.ledger.total("throttle")
+    scrub_cost = system.ledger.total("scrub")
+    total = system.total()
+    stats = system.governor.stats
+    return {
+        "margin_k": margin,
+        "interval": interval,
+        "envelope_k": AMBIENT_K + margin,
+        "peak_vault_k": system.thermal.peak_vault_temp,
+        "peak_logic_k": system.thermal.peak_logic,
+        "throttle_time": throttle.time,
+        "throttle_energy": throttle.energy,
+        "throttle_events": stats.throttle_events,
+        "throttled_executes": system.runtime.counters.throttled_executes,
+        "offline_events": stats.offline_events,
+        "availability": system.runtime.counters.availability,
+        "deposited": faults.stats.latent_flips_deposited,
+        "latent_by_vault": {str(v): c for v, c in
+                            sorted(faults.latent_deposits_by_vault.items())},
+        "scrub_time": scrub_cost.time,
+        "total_time": total.time,
+        "total_energy": total.energy,
+    }
+
+
+def thermal_arrhenius_point(g_sink, seed=4, executes=THERMAL_EXECUTES,
+                            rate=THERMAL_RATE):
+    """One heatsink setting of the Arrhenius contrast pair.
+
+    Same seed, same workload, unreachable envelope (throttling off the
+    table): only the heatsink conductance differs, so any difference in
+    accepted latent flips is pure temperature. With ``arrhenius_cap``
+    bounding the thinning, the hot run's acceptances are a pointwise
+    superset of the cool run's.
+    """
+    faults = FaultInjector(seed=seed, latent_flip_rate=rate)
+    system = MealibSystem(
+        stack_bytes=256 << 20, faults=faults,
+        thermal=ThermalConfig(g_sink=g_sink, arrhenius_doubling=1.0,
+                              arrhenius_cap=8.0, envelope=10_000.0,
+                              critical=20_000.0))
+    plan, _ = make_axpy_plan(system, n=THERMAL_N)
+    for _ in range(executes):
+        system.runtime.acc_execute(plan, functional=False)
+    by_vault = system.faults.latent_deposits_by_vault
+    return {
+        "g_sink": g_sink,
+        "max_temp_k": system.thermal.max_temp,
+        "peak_vault_k": system.thermal.peak_vault_temp,
+        "deposited": system.faults.stats.latent_flips_deposited,
+        "latent_by_vault": {str(v): c for v, c in sorted(by_vault.items())},
+    }
+
+
+def run_thermal_campaign(margins=THERMAL_MARGINS,
+                         intervals=THERMAL_INTERVALS,
+                         executes=THERMAL_EXECUTES, seed=4):
+    """The thermal campaign as one schema-stable record."""
+    return {
+        "schema": THERMAL_SCHEMA,
+        "executes": executes,
+        "seed": seed,
+        "ambient_k": AMBIENT_K,
+        "envelope_sweep": [
+            thermal_sweep_point(m, interval=i, seed=seed,
+                                executes=executes)
+            for i in intervals for m in margins],
+        "arrhenius_contrast": {
+            "cool": thermal_arrhenius_point(50.0, seed=seed,
+                                            executes=executes),
+            "hot": thermal_arrhenius_point(0.05, seed=seed,
+                                           executes=executes),
+        },
+    }
+
+
 def run_campaign(dead_tiles=(0, 1, 2, 4, 8, 16),
                  failed_links=(0, 1, 2, 4, 6),
                  scrub_intervals=SCRUB_INTERVALS,
@@ -235,7 +351,35 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=4)
     parser.add_argument("--json", default="-",
                         help="output path, or - for stdout")
+    parser.add_argument("--thermal-sweep", nargs="?", metavar="PATH",
+                        const="BENCH_thermal.json", default=None,
+                        help="run the thermal campaign instead and "
+                             "write it to PATH (default "
+                             "BENCH_thermal.json, - for stdout)")
+    parser.add_argument("--thermal-margins", type=float, nargs="+",
+                        default=list(THERMAL_MARGINS),
+                        help="envelope margins in K above ambient; "
+                             "keep them tightening so throttle-time "
+                             "monotonicity reads off the sweep")
+    parser.add_argument("--thermal-intervals", type=int, nargs="+",
+                        default=list(THERMAL_INTERVALS),
+                        help="patrol intervals crossed with the "
+                             "margins (0 disables the scrubber)")
     args = parser.parse_args(argv)
+    if args.thermal_sweep is not None:
+        executes = (args.executes if args.executes != EXECUTES
+                    else THERMAL_EXECUTES)
+        record = run_thermal_campaign(
+            margins=tuple(args.thermal_margins),
+            intervals=tuple(args.thermal_intervals),
+            executes=executes, seed=args.seed)
+        payload = json.dumps(record, indent=1, sort_keys=True)
+        if args.thermal_sweep == "-":
+            print(payload)
+        else:
+            with open(args.thermal_sweep, "w") as fh:
+                fh.write(payload + "\n")
+        return 0
     campaign = run_campaign(dead_tiles=tuple(args.dead_tiles),
                             failed_links=tuple(args.failed_links),
                             scrub_intervals=tuple(args.scrub_intervals),
@@ -370,6 +514,48 @@ def test_campaign_scrub_sweep(benchmark):
     # deposits are scrub-policy-invariant (dedicated PRNG stream)
     deposited = {p["deposited"] for p in points}
     assert len(deposited) == 1
+
+
+def test_campaign_thermal_sweep(benchmark):
+    margins = THERMAL_MARGINS
+
+    def sweep():
+        points = [thermal_sweep_point(m) for m in margins]
+        contrast = (thermal_arrhenius_point(50.0),
+                    thermal_arrhenius_point(0.05))
+        return points, contrast
+
+    points, (cool, hot) = benchmark.pedantic(sweep, rounds=1,
+                                             iterations=1)
+    print("\nThermal campaign (envelope margin above "
+          f"{AMBIENT_K:.0f}K ambient):")
+    print(f"{'margin':>7} {'peak-K':>7} {'thr-us':>7} {'events':>7} "
+          f"{'throttled':>10}")
+    for p in points:
+        print(f"{p['margin_k']:>7} {p['peak_vault_k']:>7.2f} "
+              f"{1e6 * p['throttle_time']:>7.2f} "
+              f"{p['throttle_events']:>7} {p['throttled_executes']:>10}")
+    print(f"Arrhenius contrast: cool {cool['max_temp_k']:.2f}K / "
+          f"{cool['deposited']} flips, hot {hot['max_temp_k']:.2f}K / "
+          f"{hot['deposited']} flips")
+    # the acceptance property: tightening the envelope margin never
+    # decreases total throttle time (at fixed seed and workload)
+    times = [p["throttle_time"] for p in points]
+    assert times == sorted(times)
+    assert times[0] == 0.0                  # widest margin never trips
+    assert times[-1] > 0.0                  # tightest margin throttles
+    assert points[-1]["throttled_executes"] > 0
+    # throttling observes, never drops: the accelerated path survives
+    assert all(p["availability"] == 1.0 for p in points)
+    assert all(p["offline_events"] == 0 for p in points)
+    # the Arrhenius coupling: the hotter stack never sees fewer latent
+    # flips than the cooler one, on any vault
+    assert hot["max_temp_k"] > cool["max_temp_k"] + 1.0
+    for vault in range(16):
+        key = str(vault)
+        assert (hot["latent_by_vault"].get(key, 0)
+                >= cool["latent_by_vault"].get(key, 0))
+    assert hot["deposited"] > cool["deposited"]
 
 
 def test_ecc_corrected_runs_are_bit_exact(benchmark):

@@ -51,6 +51,11 @@ class AcceleratorLayer:
         self.noc = MeshNoc()
         self.tiles: Dict[int, Tile] = make_tiles(tiles)
         self.accelerators: Dict[str, AcceleratorCore] = {}
+        # Optional ThermalModel (repro.thermal.rc). When attached, the
+        # reroute-target choice prefers the coolest serving tile among
+        # the minimal-distance candidates; None (the default) keeps the
+        # purely topological choice — the golden-baseline guarantee.
+        self.thermal: Optional[object] = None
         for accel_type in ACCELERATOR_TYPES:
             core = accel_type(tiles=tiles, freq_hz=freq_hz)
             self.accelerators[core.name] = core
@@ -60,6 +65,10 @@ class AcceleratorLayer:
     def mark_tile_failed(self, vault: int) -> None:
         """Hard-fail the tile bonded to ``vault``."""
         self.tiles[vault].mark_failed()
+
+    def repair_tile(self, vault: int) -> None:
+        """Return a failed tile to service (thermal recovery)."""
+        self.tiles[vault].repair()
 
     def failed_tiles(self) -> List[int]:
         """Vault indices whose tiles are marked failed, ascending."""
@@ -103,25 +112,33 @@ class AcceleratorLayer:
         Maps each degraded vault (dead tile, or healthy tile isolated
         from the serving group) to the nearest serving tile by adaptive
         route hops — the tile its data stripe is rerouted to over
-        TSV + mesh. ``None`` marks a vault no serving tile can reach;
+        TSV + mesh. Among equally-near candidates the choice is
+        thermal-aware when a thermal model is attached: the *coolest*
+        candidate wins (ties broken by lowest tile index, so the pick
+        is deterministic); without one, the lowest tile index wins —
+        exactly the historical first-found order, preserving the golden
+        baselines. ``None`` marks a vault no serving tile can reach;
         one such vault forces the whole descriptor to the host, since
         vault interleaving spreads every operand over every vault.
         """
         serving = self.serving_tiles()
         serving_set = set(serving)
+        thermal = self.thermal
         out: Dict[int, Optional[int]] = {}
         for vault in sorted(self.tiles):
             if vault in serving_set:
                 continue
             best: Optional[int] = None
-            best_hops: Optional[int] = None
+            best_key: Optional[tuple] = None
             for tile in serving:
                 try:
                     h = self.noc.route_hops(vault, tile)
                 except NocUnreachableError:
                     continue
-                if best_hops is None or h < best_hops:
-                    best, best_hops = tile, h
+                key = ((h, tile) if thermal is None
+                       else (h, thermal.temperature(tile), tile))
+                if best_key is None or key < best_key:
+                    best, best_key = tile, key
             out[vault] = best
         return out
 

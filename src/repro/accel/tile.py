@@ -74,6 +74,15 @@ class Tile:
         self.active_pe = None
         self.switch = SwitchConfig()
 
+    def repair(self) -> None:
+        """Return a failed tile to service.
+
+        Used by the thermal governor when a vault it took offline cools
+        back below its release threshold; an injected hard failure is
+        never repaired (the injector does not call this).
+        """
+        self.failed = False
+
     def release(self) -> None:
         """Return the tile to idle at the end of a pass."""
         self.active_pe = None

@@ -103,8 +103,8 @@ class _Parser:
                 f"{name_tok.text!r}")
         self.expect("(")
         params = []
-        if self.at("void") and self.peek(1) is not None \
-                and self.peek(1).text == ")":
+        nxt = self.peek(1)
+        if self.at("void") and nxt is not None and nxt.text == ")":
             self.advance()                   # f(void)
         while not self.at(")"):
             params.append(self.parse_param())
@@ -287,7 +287,7 @@ class _Parser:
 
     def parse_compare(self) -> Expr:
         left = self.parse_additive()
-        while self.peek() is not None and self.peek().text in _CMP_OPS:
+        while (tok := self.peek()) is not None and tok.text in _CMP_OPS:
             op = self.advance().text
             left = BinOp(op, left, self.parse_additive())
         return left

@@ -18,7 +18,8 @@ streams, the way the hardware pipeline actually behaves).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import (TYPE_CHECKING, Dict, List, Mapping, Optional,
+                    Tuple)
 
 from repro.accel.base import (AcceleratorCore, StrideTable,
                               linear_strides, shift_params,
@@ -39,6 +40,9 @@ from repro.memsys.device import MemoryDevice
 from repro.memsys.result import MemResult
 from repro.memsys.trace import StreamSpec, simulate_streams
 from repro.metrics import ExecResult, ZERO
+
+if TYPE_CHECKING:
+    from repro.thermal.governor import PowerGovernor
 
 #: Fetch-unit base latency for pulling a descriptor into IMEM.
 FU_FETCH_LATENCY = 200e-9
@@ -113,6 +117,17 @@ class DescriptorExecution:
     tiles_used: int = 0
     #: Vault stripes served by a remote tile.
     rerouted_vaults: int = 0
+    #: Extra time/energy of DVFS throttling (the envelope governor):
+    #: the lockstep pass pipeline stretched by the slowest throttled
+    #: serving vault's frequency factor, priced as static power over
+    #: the longer drain; ZERO when every serving vault is nominal.
+    throttle_overhead: ExecResult = ZERO
+    #: Serving vaults that were under DVFS during this execution.
+    throttled_vaults: int = 0
+    #: Per-vault dynamic heat of this execution, J (thermal runs only).
+    vault_heat: Optional[Dict[int, float]] = None
+    #: Heat deposited on the logic-layer node, J (thermal runs only).
+    logic_heat: float = 0.0
 
     def accel_share(self, name: str) -> float:
         """Fraction of descriptor time spent in one accelerator."""
@@ -217,13 +232,19 @@ class ConfigurationUnit:
                  space: UnifiedAddressSpace, device: MemoryDevice,
                  noc: Optional[MeshNoc] = None,
                  faults: Optional[FaultInjector] = None,
-                 datapath: Optional[DatapathEcc] = None):
+                 datapath: Optional[DatapathEcc] = None,
+                 governor: Optional["PowerGovernor"] = None):
         self.layer = layer
         self.space = space
         self.device = device
         self.noc = noc if noc is not None else layer.noc
         self.faults = faults
         self.datapath = datapath
+        # power-envelope governor (repro.thermal): when attached, pass
+        # timing stretches for throttled serving vaults and the per-pass
+        # heat breakdown is collected for the thermal model; None keeps
+        # the execution model byte-identical to a governor-free build
+        self.governor = governor
 
     # -- decode ---------------------------------------------------------------
 
@@ -386,30 +407,35 @@ class ConfigurationUnit:
 
     def _model_pass(self, plan: PassPlan,
                     degradation: Optional[Degradation] = None
-                    ) -> Tuple[ExecResult, Dict[str, float], ExecResult]:
+                    ) -> Tuple[ExecResult, Dict[str, float], ExecResult,
+                               Dict[str, object]]:
         """Time/energy of one pass plan (loop iterations aggregated).
 
-        Returns ``(result, per-comp compute times, reroute overhead)``.
-        When the layer is degraded, ``result`` is the degraded cost and
-        the overhead is its excess over the hypothetical healthy cost
-        (what the ``reroute`` ledger category accounts). On a healthy
-        layer the overhead is exactly :data:`~repro.metrics.ZERO` and
-        the model is bit-identical to the undegraded one.
+        Returns ``(result, per-comp compute times, reroute overhead,
+        heat breakdown)``. When the layer is degraded, ``result`` is
+        the degraded cost and the overhead is its excess over the
+        hypothetical healthy cost (what the ``reroute`` ledger category
+        accounts). On a healthy layer the overhead is exactly
+        :data:`~repro.metrics.ZERO` and the model is bit-identical to
+        the undegraded one. The heat breakdown (of the *actual* run,
+        degraded or not) is what the thermal model consumes; it is a
+        pure decomposition of the result's energy.
         """
         if degradation is None or not degradation.active:
-            result, compute_times = self._pass_terms(
+            result, compute_times, heat = self._pass_terms(
                 plan, len(self.layer.tiles), {})
-            return result, compute_times, ZERO
-        result, compute_times = self._pass_terms(
+            return result, compute_times, ZERO, heat
+        result, compute_times, heat = self._pass_terms(
             plan, len(degradation.serving), degradation.reroutes)
-        clean, _ = self._pass_terms(plan, len(self.layer.tiles), {})
+        clean, _, _ = self._pass_terms(plan, len(self.layer.tiles), {})
         overhead = ExecResult(max(0.0, result.time - clean.time),
                               max(0.0, result.energy - clean.energy))
-        return result, compute_times, overhead
+        return result, compute_times, overhead, heat
 
     def _pass_terms(self, plan: PassPlan, n_serve: int,
                     reroutes: Mapping[int, int]
-                    ) -> Tuple[ExecResult, Dict[str, float]]:
+                    ) -> Tuple[ExecResult, Dict[str, float],
+                               Dict[str, object]]:
         """One pass's cost on ``n_serve`` tiles with ``reroutes`` vault
         stripes carried over the mesh.
 
@@ -455,41 +481,61 @@ class ConfigurationUnit:
                 if s.is_write)
             t_noc = inter_bytes / (n_serve * self.noc.link_bw)
         t_ctrl = plan.count * LOOP_REARM_TIME / n_serve
-        t_reroute, e_reroute = self._reroute_terms(mem.bytes_moved,
-                                                   reroutes)
+        t_reroute, e_reroute, e_by_server = self._reroute_terms(
+            mem.bytes_moved, reroutes)
         time = (max(mem.time, t_compute, t_noc, t_ctrl, t_reroute)
                 + PASS_ARM_TIME)
+        # heat buckets (a pure decomposition of the energy accumulated
+        # below): DRAM joules land on the vault nodes, tile logic on
+        # the serving vaults, NoC + CU on the logic-layer node, and
+        # rerouted-stripe transport on the carrying server vaults
         energy = mem.energy
+        heat_dram = mem.energy
         if time > mem.time:
-            energy += self.device.static_power() * (time - mem.time)
+            e_static = self.device.static_power() * (time - mem.time)
+            energy += e_static
+            heat_dram += e_static
+        heat_tiles = 0.0
         for comp in plan.comps:
             activity = min(
                 1.0, compute_times[comp.core.name] / time if time else 0.0)
-            energy += comp.core.logic_power(
+            e_logic = comp.core.logic_power(
                 activity=max(activity, 0.25), tiles=n_serve) * time
+            energy += e_logic
+            heat_tiles += e_logic
+        heat_logic = (noc_power() + CU_POWER) * time
         energy += (noc_power() + CU_POWER) * time + e_reroute
-        return ExecResult(time=time, energy=energy), compute_times
+        heat = {"dram": heat_dram, "tiles": heat_tiles,
+                "logic": heat_logic, "reroute": e_by_server}
+        return ExecResult(time=time, energy=energy), compute_times, heat
 
     def _reroute_terms(self, bytes_moved: float,
                        reroutes: Mapping[int, int]
-                       ) -> Tuple[float, float]:
-        """Mesh transport cost of the rerouted vault stripes."""
+                       ) -> Tuple[float, float, Dict[int, float]]:
+        """Mesh transport cost of the rerouted vault stripes.
+
+        Returns ``(time, energy, energy by serving tile)`` — the
+        per-server split feeds the thermal model (the carrying tile's
+        vault takes the transport heat)."""
         if not reroutes:
-            return 0.0, 0.0
+            return 0.0, 0.0, {}
         stripe = bytes_moved / self.device.units
         by_server: Dict[int, List[int]] = {}
         for vault, server in reroutes.items():
             by_server.setdefault(server, []).append(vault)
         t_reroute = 0.0
         e_reroute = 0.0
+        e_by_server: Dict[int, float] = {}
         for server, vaults in by_server.items():
             hops = [self.noc.route_hops(v, server) for v in vaults]
             t_group = (max(hops) * self.noc.hop_latency
                        + stripe * len(vaults) / self.noc.link_bw)
             t_reroute = max(t_reroute, t_group)
-            e_reroute += sum(h * stripe * self.noc.energy_per_byte_hop
-                             for h in hops)
-        return t_reroute, e_reroute
+            e_group = sum(h * stripe * self.noc.energy_per_byte_hop
+                          for h in hops)
+            e_reroute += e_group
+            e_by_server[server] = e_by_server.get(server, 0.0) + e_group
+        return t_reroute, e_reroute, e_by_server
 
     def _inject_structural_faults(self) -> Optional[Tuple[int, int]]:
         """Apply this execution's injected tile/link faults.
@@ -572,18 +618,40 @@ class ConfigurationUnit:
                                energy=fetch_time * CU_POWER)
             by_accel: Dict[str, ExecResult] = {}
             reroute_total = ZERO
+            throttle_total = ZERO
             invocations = 0
+            # DVFS state is sampled once per execution: the governor is
+            # only re-polled by the runtime after the thermal step
+            slowdown = 1.0
+            throttled: List[int] = []
+            vault_heat: Optional[Dict[int, float]] = None
+            logic_heat = 0.0
+            if self.governor is not None:
+                slowdown = self.governor.pass_slowdown(serving)
+                throttled = self.governor.throttled_vaults(serving)
+                vault_heat = {v: 0.0 for v in range(self.device.units)}
+                logic_heat = fetch_time * CU_POWER
             for plan in plans:
                 self._configure_tiles(plan, serving)
                 if functional:
                     self.run_functional(plan)
-                pass_result, _, overhead = self._model_pass(plan,
-                                                            degradation)
-                total = total.plus(pass_result)
+                pass_result, _, overhead, heat = self._model_pass(
+                    plan, degradation)
+                throttle_ov = ZERO
+                if slowdown < 1.0:
+                    # frequency-only DVFS: dynamic joules are unchanged,
+                    # the stretched drain costs extra static power
+                    stretch = pass_result.time * (1.0 / slowdown - 1.0)
+                    throttle_ov = ExecResult(
+                        time=stretch,
+                        energy=self.device.static_power() * stretch)
+                total = total.plus(pass_result).plus(throttle_ov)
                 reroute_total = reroute_total.plus(overhead)
+                throttle_total = throttle_total.plus(throttle_ov)
                 # attribute the healthy-equivalent share of the pass to
                 # its accelerators; the degradation excess is reported
-                # separately so the reroute ledger can carry it
+                # separately so the reroute ledger can carry it (and the
+                # throttle excess likewise for the throttle category)
                 base = ExecResult(pass_result.time - overhead.time,
                                   pass_result.energy - overhead.energy)
                 share = base.time / max(len(plan.comps), 1)
@@ -594,14 +662,40 @@ class ConfigurationUnit:
                         energy=base.energy / len(plan.comps))
                     by_accel[comp.core.name] = prev.plus(frac)
                 invocations += plan.count * len(plan.comps)
+                if vault_heat is not None:
+                    units = self.device.units
+                    # DRAM joules interleave over every vault; tile
+                    # logic heats the serving vaults; NoC + CU heat the
+                    # logic node; rerouted stripes heat their carriers;
+                    # the throttle's static excess spreads like DRAM
+                    per_vault = heat["dram"] / units
+                    for v in vault_heat:
+                        vault_heat[v] += per_vault
+                    per_tile = heat["tiles"] / len(serving)
+                    for v in serving:
+                        vault_heat[v] += per_tile
+                    logic_heat += heat["logic"]
+                    for server, e_srv in heat["reroute"].items():
+                        vault_heat[server] += e_srv
+                    if throttle_ov.energy > 0.0:
+                        per_vault = throttle_ov.energy / units
+                        for v in vault_heat:
+                            vault_heat[v] += per_vault
                 self._release_tiles()
+            if self.governor is not None and throttle_total.time > 0.0:
+                self.governor.stats.note_throttled(throttle_total.time,
+                                                   throttled)
             return DescriptorExecution(
                 result=total, by_accelerator=by_accel,
                 invocations=invocations, passes=len(plans),
                 reroute_overhead=reroute_total,
                 tiles_used=len(serving),
                 rerouted_vaults=(len(degradation.reroutes)
-                                 if degradation is not None else 0))
+                                 if degradation is not None else 0),
+                throttle_overhead=throttle_total,
+                throttled_vaults=len(throttled),
+                vault_heat=vault_heat,
+                logic_heat=logic_heat)
         finally:
             if flapped is not None:
                 self.noc.restore_link(*flapped)

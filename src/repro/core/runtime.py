@@ -39,7 +39,8 @@ bit-for-bit and joule-for-joule identical to the unhardened runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Union)
 
 from repro.accel.tile import TileFailedError
 from repro.core.config_unit import ConfigurationUnit
@@ -56,6 +57,10 @@ from repro.faults.scrub import PatrolScrubber
 from repro.memmgmt.addrspace import MappedBuffer, UnifiedAddressSpace
 from repro.memmgmt.allocator import ContiguousAllocator
 from repro.metrics import ExecResult, ZERO
+
+if TYPE_CHECKING:
+    from repro.thermal.governor import PowerGovernor
+    from repro.thermal.rc import ThermalModel
 
 
 class MealibRuntimeError(Exception):
@@ -107,6 +112,7 @@ class ResilienceCounters:
     degraded_executes: int = 0
     rerouted_stripes: int = 0
     scrub_passes: int = 0
+    throttled_executes: int = 0
 
     @property
     def availability(self) -> float:
@@ -154,9 +160,13 @@ class Ledger:
     drain of dirty codewords), ``retry`` (descriptor re-delivery and
     backoff), ``reroute`` (the excess of running degraded: mesh detours
     and rerouted vault stripes), ``fallback`` (host execution when no
-    tile can serve the work) and ``scrub`` (background patrol passes
+    tile can serve the work), ``scrub`` (background patrol passes
     draining latent cell flips — maintenance overlapped with the host,
-    so it is ledgered but never added to an execute's returned cost).
+    so it is ledgered but never added to an execute's returned cost)
+    and ``throttle`` (the excess of DVFS frequency step-downs the
+    power-envelope governor imposed on hot vaults: the stretched pass
+    drain priced at static power, on top of the ``accelerator``
+    category's unchanged nominal share).
     """
 
     entries: List[LedgerEntry] = field(default_factory=list)
@@ -206,7 +216,10 @@ class MealibRuntime:
                  faults: Optional[FaultInjector] = None,
                  policy: Optional[ResiliencePolicy] = None,
                  datapath: Optional[DatapathEcc] = None,
-                 scrubber: Optional[PatrolScrubber] = None):
+                 scrubber: Optional[PatrolScrubber] = None,
+                 thermal: Optional["ThermalModel"] = None,
+                 governor: Optional["PowerGovernor"] = None,
+                 vault_of: Optional[Callable[[int], int]] = None):
         self.space = space
         self.cu = config_unit
         self.invocation = (invocation if invocation is not None
@@ -215,6 +228,14 @@ class MealibRuntime:
         self.faults = faults
         self.datapath = datapath
         self.scrubber = scrubber
+        # thermal loop (repro.thermal): the RC model is advanced with
+        # each step's attributed heat and the governor re-polled after;
+        # vault_of maps a physical byte address to its vault for the
+        # Arrhenius-thinned latent deposits. All None ⇒ byte-identical
+        # to a thermal-free runtime.
+        self.thermal = thermal
+        self.governor = governor
+        self.vault_of = vault_of
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.counters = ResilienceCounters()
         self.ledger = Ledger()
@@ -279,8 +300,17 @@ class MealibRuntime:
         # PRNG stream, so the campaign's flip placement is identical
         # whatever the scrub policy or retry count
         if self.faults is not None and self.datapath is not None:
-            self.faults.deposit_latent_flips(
-                self.datapath.phys.regions())
+            if self.thermal is not None:
+                # Arrhenius coupling: hotter vaults accept more of the
+                # (seed-stable) capped candidate stream
+                self.faults.deposit_latent_flips(
+                    self.datapath.phys.regions(),
+                    factors=self.thermal.arrhenius_factors(),
+                    cap=self.thermal.config.arrhenius_cap,
+                    vault_of=self.vault_of)
+            else:
+                self.faults.deposit_latent_flips(
+                    self.datapath.phys.regions())
         try:
             return self._execute_hardened(plan, functional, overhead)
         finally:
@@ -327,6 +357,11 @@ class MealibRuntime:
                         execution.rerouted_vaults)
                     self.ledger.log("reroute", "vault-stripe",
                                     execution.reroute_overhead)
+                if execution.throttled_vaults:
+                    self.counters.throttled_executes += 1
+                    self.ledger.log("throttle", "dvfs-stretch",
+                                    execution.throttle_overhead)
+                self._thermal_step(execution)
                 plan.executions += 1
                 return total.plus(execution.result)
 
@@ -378,6 +413,42 @@ class MealibRuntime:
         if cost is not None:
             self.counters.scrub_passes += 1
             self.ledger.log("scrub", "patrol", cost)
+            if self.thermal is not None and cost.time > 0.0:
+                # the patrol is a thermal actor too: its streaming and
+                # correction joules heat the vaults it walked
+                heat = self.scrubber.last_vault_energy
+                vault_power = [heat.get(v, 0.0) / cost.time
+                               for v in range(self.thermal.vaults)]
+                self.thermal.advance(cost.time, vault_power)
+                if self.governor is not None:
+                    self.governor.poll()
+
+    def _thermal_step(self, execution) -> None:
+        """Advance the RC network by one accelerated execute's heat and
+        re-poll the envelope governor. Inert without a thermal model."""
+        if self.thermal is None:
+            return
+        duration = execution.result.time
+        if duration > 0.0:
+            if execution.vault_heat is not None:
+                vault_power = [
+                    execution.vault_heat.get(v, 0.0) / duration
+                    for v in range(self.thermal.vaults)]
+                self.thermal.advance(duration, vault_power,
+                                     execution.logic_heat / duration)
+            else:
+                self.thermal.advance(duration)
+        if self.governor is not None:
+            self.governor.poll()
+
+    def _thermal_idle(self, duration: float) -> None:
+        """Advance the RC network with the stack idle (host fallback
+        runs deposit no heat on the vaults — they just cool)."""
+        if self.thermal is None or duration <= 0.0:
+            return
+        self.thermal.advance(duration)
+        if self.governor is not None:
+            self.governor.poll()
 
     def _account_fault(self, exc: Exception) -> ExecResult:
         """Ledger one detected fault; hangs pay the watchdog timeout."""
@@ -442,6 +513,7 @@ class MealibRuntime:
                 share = host.run_profile(profile).repeated(p.count)
                 self.ledger.log("fallback", comp.core.name, share)
                 cost = cost.plus(share)
+        self._thermal_idle(cost.time)
         return cost
 
     # -- host-side accounting ---------------------------------------------

@@ -24,6 +24,7 @@ from repro.memmgmt.driver import MealibDriver
 from repro.memsys.dram3d import StackedDram
 from repro.metrics import ExecResult
 from repro.mkl.profiles import OpProfile
+from repro.thermal import PowerGovernor, ThermalConfig, ThermalModel
 
 
 class MealibSystem:
@@ -36,9 +37,17 @@ class MealibSystem:
     of latent cell flips at operand fetch), the stacked DRAM's timing
     model, the configuration unit's fetch/doorbell path, and the
     runtime's watchdog/retry/fallback machinery. ``scrub`` additionally
-    arms a background patrol scrubber over the same injector. With
-    ``faults`` left ``None`` the system is exactly the unhardened
-    baseline.
+    arms a background patrol scrubber over the same injector — it
+    configures *how* the injector's latent flips are drained, so
+    passing it without ``faults`` is a configuration error. ``thermal``
+    attaches the per-vault RC network and power-envelope governor
+    (``repro.thermal``): executes and patrol passes deposit their
+    ledger-attributed joules on the vault nodes, hot vaults are
+    DVFS-throttled (the ``throttle`` ledger category) or taken offline
+    through the per-vault reroute path, and — when faults are armed —
+    vault temperature Arrhenius-scales the latent flip rate. With
+    ``faults`` and ``thermal`` left ``None`` the system is exactly the
+    unhardened baseline.
     """
 
     def __init__(self, host: Optional[CpuModel] = None,
@@ -48,7 +57,13 @@ class MealibSystem:
                  invocation: Optional[InvocationModel] = None,
                  faults: Optional[FaultInjector] = None,
                  policy: Optional[ResiliencePolicy] = None,
-                 scrub: Optional[ScrubConfig] = None):
+                 scrub: Optional[ScrubConfig] = None,
+                 thermal: Optional[ThermalConfig] = None):
+        if scrub is not None and faults is None:
+            raise ValueError(
+                "scrub= without faults= would arm a patrol scrubber "
+                "over no injector; pass a FaultInjector (rates may all "
+                "be zero) or drop the scrub config")
         self.host = host if host is not None else haswell()
         self.space = UnifiedAddressSpace(
             MealibDriver(stack_bytes=stack_bytes))
@@ -57,6 +72,16 @@ class MealibSystem:
         self.faults = faults
         self.datapath = None
         self.scrubber = None
+        self.thermal = None
+        self.governor = None
+        if thermal is not None and thermal.enabled:
+            self.thermal = ThermalModel(thermal,
+                                        vaults=self.device.units,
+                                        cols=self.layer.noc.cols)
+            self.governor = PowerGovernor(self.thermal, self.layer,
+                                          thermal)
+            # thermal-aware reroute tie-break (coolest serving tile)
+            self.layer.thermal = self.thermal
         if faults is not None:
             phys = self.space.driver.phys
             phys.fault_hook = faults.dram_read
@@ -64,15 +89,25 @@ class MealibSystem:
                 self.device.ecc = faults.ecc
             self.datapath = DatapathEcc(faults, phys)
             self.scrubber = PatrolScrubber(
-                faults, phys, scrub if scrub is not None else ScrubConfig())
+                faults, phys,
+                scrub if scrub is not None else ScrubConfig(),
+                mapping=(self.device.mapping if self.thermal is not None
+                         else None))
         self.config_unit = ConfigurationUnit(self.layer, self.space,
                                              self.device, faults=faults,
-                                             datapath=self.datapath)
-        self.runtime = MealibRuntime(self.space, self.config_unit,
-                                     invocation, host=self.host,
-                                     faults=faults, policy=policy,
-                                     datapath=self.datapath,
-                                     scrubber=self.scrubber)
+                                             datapath=self.datapath,
+                                             governor=self.governor)
+        self.runtime = MealibRuntime(
+            self.space, self.config_unit, invocation, host=self.host,
+            faults=faults, policy=policy, datapath=self.datapath,
+            scrubber=self.scrubber, thermal=self.thermal,
+            governor=self.governor,
+            vault_of=(self.device.mapping.unit_of
+                      if self.thermal is not None else None))
+        if self.governor is not None:
+            # engage forced (sub-ambient) envelopes before the first
+            # execute — a vault born above critical goes offline now
+            self.governor.poll()
 
     @property
     def ledger(self):

@@ -55,7 +55,7 @@ The injector is pure policy: the subsystems own small hooks
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -156,6 +156,9 @@ class FaultInjector:
         self._pending_corrections = 0
         #: 8-byte-aligned word address -> 64-bit mask of flipped cells
         self._latent: Dict[int, int] = {}
+        #: vault index -> accepted latent flips (thermal-coupled runs;
+        #: populated only when deposits are given a ``vault_of`` mapping)
+        self.latent_deposits_by_vault: Dict[int, int] = {}
 
     def reset(self) -> None:
         """Re-seed the PRNGs and zero the statistics and latent map."""
@@ -164,6 +167,7 @@ class FaultInjector:
         self.stats.clear()
         self._pending_corrections = 0
         self._latent.clear()
+        self.latent_deposits_by_vault.clear()
 
     # -- DRAM data path (PhysicalMemory.fault_hook) --------------------------
 
@@ -247,7 +251,10 @@ class FaultInjector:
         return word
 
     def deposit_latent_flips(
-            self, regions: Sequence[Tuple[int, int]]) -> int:
+            self, regions: Sequence[Tuple[int, int]],
+            factors: Optional[Sequence[float]] = None,
+            cap: float = 1.0,
+            vault_of: Optional[Callable[[int], int]] = None) -> int:
         """One accelerated step's worth of new latent cell flips.
 
         Draws ``Binomial(total backed bits, latent_flip_rate)`` upset
@@ -256,6 +263,19 @@ class FaultInjector:
         value; a second hit on the same cell changes nothing). Returns
         the number of flips deposited. Consumes the dedicated latent
         PRNG identically regardless of scrub or read activity.
+
+        Thermal coupling (``factors`` given) uses *thinning*: candidates
+        are drawn at the capped rate ``latent_flip_rate * cap``, and a
+        candidate landing on byte ``b`` is accepted iff its paired
+        uniform ``u`` satisfies ``u * cap < factors[vault_of(b)]`` — so
+        a vault with Arrhenius factor ``f`` sees flips at exactly
+        ``rate * f`` while the seeded candidate stream stays identical
+        across envelope and throttle policies. Hotter vaults accept a
+        pointwise *superset* of a cooler run's flips: cross-run
+        monotonicity holds by construction, not by luck. When
+        ``factors`` is ``None`` the legacy single-rate path runs,
+        consuming the PRNG byte-identically to earlier releases (the
+        golden-baseline guarantee).
         """
         rate = self.config.latent_flip_rate
         if rate <= 0.0 or not regions:
@@ -263,26 +283,49 @@ class FaultInjector:
         total_bits = sum(size for _, size in regions) * 8
         if total_bits <= 0:
             return 0
-        k = int(self._latent_rng.binomial(total_bits, rate))
-        if k == 0:
-            return 0
-        k = min(k, total_bits)
-        positions = self._latent_rng.choice(total_bits, size=k,
-                                            replace=False)
+        if factors is None:
+            k = int(self._latent_rng.binomial(total_bits, rate))
+            if k == 0:
+                return 0
+            k = min(k, total_bits)
+            positions = self._latent_rng.choice(total_bits, size=k,
+                                                replace=False)
+            uniforms = None
+        else:
+            k = int(self._latent_rng.binomial(
+                total_bits, min(rate * cap, 1.0)))
+            if k == 0:
+                return 0
+            k = min(k, total_bits)
+            positions = self._latent_rng.choice(total_bits, size=k,
+                                                replace=False)
+            uniforms = self._latent_rng.random(k)
         word_mask = ECC_WORD_BITS // 8 - 1
-        for pos in sorted(int(p) for p in positions):
+        deposited = 0
+        for i, pos in enumerate(sorted(int(p) for p in positions)):
             rest = pos
             for start, size in regions:
-                if rest < size * 8:
-                    byte = start + rest // 8
-                    word = byte & ~word_mask
-                    bit = (byte - word) * 8 + rest % 8
-                    self._latent[word] = self._latent.get(word, 0) \
-                        | (1 << bit)
-                    break
-                rest -= size * 8
-        self.stats.latent_flips_deposited += k
-        return k
+                if rest >= size * 8:
+                    rest -= size * 8
+                    continue
+                byte = start + rest // 8
+                vault = vault_of(byte) if vault_of is not None else None
+                if uniforms is not None:
+                    factor = (factors[vault] if vault is not None
+                              else 1.0)
+                    if uniforms[i] * cap >= factor:
+                        break                       # thinned away
+                word = byte & ~word_mask
+                bit = (byte - word) * 8 + rest % 8
+                self._latent[word] = self._latent.get(word, 0) \
+                    | (1 << bit)
+                deposited += 1
+                if vault is not None:
+                    self.latent_deposits_by_vault[vault] = (
+                        self.latent_deposits_by_vault.get(vault, 0) + 1)
+                break
+        self.stats.latent_flips_deposited += deposited
+        return deposited
 
     def latent_words(self, ranges: Sequence[Tuple[int, int]]
                      ) -> List[Tuple[int, int]]:

@@ -26,12 +26,13 @@ one without a scrubber — the golden-baseline guarantee.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.faults.ecc import (OUTCOME_CORRECTED, OUTCOME_DETECTED,
                               SecdedModel, popcount)
 from repro.faults.injector import FaultInjector
 from repro.memmgmt.physmem import PhysicalMemory
+from repro.memsys.address import AddressMapping
 from repro.metrics import ExecResult, ZERO
 
 
@@ -76,13 +77,21 @@ class PatrolScrubber:
 
     def __init__(self, injector: FaultInjector, phys: PhysicalMemory,
                  config: Optional[ScrubConfig] = None,
-                 ecc: Optional[SecdedModel] = None):
+                 ecc: Optional[SecdedModel] = None,
+                 mapping: Optional[AddressMapping] = None):
         self.injector = injector
         self.phys = phys
         self.config = config if config is not None else ScrubConfig()
         self.ecc = ecc if ecc is not None else injector.ecc
+        self.mapping = mapping
         self.stats = ScrubStats()
         self._steps_since_scrub = 0
+        #: vault -> joules of the most recent patrol pass (the thermal
+        #: model's heat feed). Patrol-stream energy lands on the vault
+        #: whose stripe was walked and correction energy on the vault
+        #: holding the corrected word — never smeared globally. Empty
+        #: until a pass runs, or when no address mapping is attached.
+        self.last_vault_energy: Dict[int, float] = {}
 
     def tick(self) -> Optional[ExecResult]:
         """Account one completed accelerated step; patrol when due.
@@ -102,6 +111,7 @@ class PatrolScrubber:
         inj = self.injector
         ecc_on = inj.config.ecc_enabled
         corrections = 0
+        corr_by_vault: Dict[int, int] = {}
         for word, mask in inj.all_latent_words():
             outcome = (self.ecc.classify(popcount(mask)) if ecc_on
                        else None)
@@ -118,12 +128,57 @@ class PatrolScrubber:
                 # the patrol write-back pins the corruption into the cells
                 self.stats.words_silent += 1
                 self.phys.apply_flips(word, mask)
+            if outcome in (OUTCOME_CORRECTED, OUTCOME_DETECTED) \
+                    and self.mapping is not None:
+                v = self.mapping.unit_of(word)
+                corr_by_vault[v] = corr_by_vault.get(v, 0) + 1
             inj.clear_latent_word(word)
         self.stats.passes += 1
-        scanned = sum(size for _, size in self.phys.regions())
+        regions = self.phys.regions()
+        scanned = sum(size for _, size in regions)
         self.stats.bytes_scanned += scanned
+        if self.mapping is not None:
+            per_corr = self.ecc.correction_cost(1).energy
+            e_byte = self.config.e_patrol_per_byte
+            self.last_vault_energy = {
+                v: b * e_byte + corr_by_vault.get(v, 0) * per_corr
+                for v, b in self._vault_bytes(regions).items()}
         cost = ExecResult(time=scanned / self.config.bandwidth,
                           energy=scanned * self.config.e_patrol_per_byte)
         if corrections:
             cost = cost.plus(self.ecc.correction_cost(corrections))
         return cost if scanned or corrections else ZERO
+
+    def _vault_bytes(self, regions: Sequence[Tuple[int, int]]
+                     ) -> Dict[int, int]:
+        """Patrol bytes per vault over the given ``(start, size)`` regions.
+
+        The interleave's XOR-fold vault permutation is a bijection
+        within every aligned cycle of ``units * interleave_bytes``
+        bytes, so each vault owns exactly ``interleave_bytes`` of every
+        full cycle; only the unaligned head and tail need per-block
+        :meth:`~repro.memsys.address.AddressMapping.unit_of` calls.
+        """
+        m = self.mapping
+        assert m is not None
+        interleave = m.interleave_bytes
+        cycle = m.units * interleave
+        out: Dict[int, int] = dict.fromkeys(range(m.units), 0)
+
+        def walk_blocks(addr: int, stop: int) -> None:
+            while addr < stop:
+                block_end = min(stop, (addr // interleave + 1) * interleave)
+                out[m.unit_of(addr)] += block_end - addr
+                addr = block_end
+
+        for start, size in regions:
+            end = start + size
+            head_end = min(end, -(-start // cycle) * cycle)
+            walk_blocks(start, head_end)
+            if end > head_end:
+                full = (end - head_end) // cycle
+                if full:
+                    for v in out:
+                        out[v] += full * interleave
+                walk_blocks(head_end + full * cycle, end)
+        return out

@@ -1,0 +1,25 @@
+"""Per-vault thermal modeling and power-envelope throttling.
+
+A :class:`~repro.thermal.rc.ThermalModel` integrates a lumped RC
+network (one node per vault plus the logic layer) forward from the
+energy ledger's per-step joule attribution; a
+:class:`~repro.thermal.governor.PowerGovernor` enforces per-vault
+envelopes on top of it (DVFS throttling with the ``throttle`` ledger
+category, critical-threshold offlining through the existing per-vault
+reroute path). Vault temperature couples back into resilience through
+an Arrhenius factor on the latent cell-flip rate.
+
+Everything here is inert unless a :class:`ThermalConfig` is passed to
+:class:`~repro.core.system.MealibSystem` — thermal-off runs are
+bit-for-bit and joule-for-joule identical to a system without the
+subsystem.
+"""
+
+from repro.thermal.governor import (GovernorStats, NOMINAL, OFFLINE,
+                                    PowerGovernor, THROTTLED)
+from repro.thermal.rc import AMBIENT_K, ThermalConfig, ThermalModel
+
+__all__ = [
+    "AMBIENT_K", "GovernorStats", "NOMINAL", "OFFLINE", "PowerGovernor",
+    "THROTTLED", "ThermalConfig", "ThermalModel",
+]

@@ -175,6 +175,81 @@ def test_ecc_off_patrol_pins_corruption_into_cells():
     assert system.faults.latent_word_count == 0
 
 
+def test_scrub_without_faults_is_a_configuration_error():
+    # a scrub config *parameterises the injector's drain*: passing it
+    # with no injector used to be silently ignored — now it raises
+    with pytest.raises(ValueError):
+        make_system(scrub=ScrubConfig(interval=2))
+
+
+# -- per-vault attribution (thermal heat feed) --------------------------------
+
+
+def _attributed_scrubber(rate=0.0, seed=3):
+    system = seeded_scrubber(interval=1, rate=rate, seed=seed)
+    system.scrubber.mapping = system.device.mapping
+    return system
+
+
+def test_vault_attribution_decomposes_the_pass_energy_exactly():
+    system = _attributed_scrubber()
+    inj, scrubber = system.faults, system.scrubber
+    inj.plant_latent_flips(4096, [1])
+    inj.plant_latent_flips(64 << 10, [2, 9])
+    cost = scrubber.scrub()
+    per_vault = scrubber.last_vault_energy
+    assert set(per_vault) == set(range(system.device.units))
+    # the per-vault energies are a decomposition of the pass cost, not
+    # an estimate: they sum back to the ledgered energy
+    assert sum(per_vault.values()) == pytest.approx(cost.energy, rel=1e-12)
+
+
+def test_patrol_energy_lands_on_the_vault_walked_not_smeared():
+    system = _attributed_scrubber()
+    scrubber = system.scrubber
+    mapping = system.device.mapping
+    word = system.faults.plant_latent_flips(4096, [5])   # one single
+    cost = scrubber.scrub()
+    assert scrubber.stats.words_corrected == 1
+    per_corr = scrubber.ecc.correction_cost(1).energy
+    regions = system.space.driver.phys.regions()
+    stream_bytes = scrubber._vault_bytes(regions)
+    e_byte = scrubber.config.e_patrol_per_byte
+    per_vault = scrubber.last_vault_energy
+    # the correction's writeback energy is attributed to the vault that
+    # holds the corrected word — every other vault paid its own
+    # streaming share only, nothing smeared
+    hot = mapping.unit_of(word)
+    for v, e in per_vault.items():
+        expected = stream_bytes[v] * e_byte
+        if v == hot:
+            expected += per_corr
+        assert e == pytest.approx(expected, rel=1e-12), f"vault {v}"
+    scanned = sum(size for _, size in regions)
+    assert cost.energy == pytest.approx(scanned * e_byte + per_corr,
+                                        rel=1e-12)
+
+
+def test_vault_byte_split_matches_per_block_decomposition():
+    system = _attributed_scrubber()
+    scrubber = system.scrubber
+    mapping = system.device.mapping
+    regions = system.space.driver.phys.regions()
+    fast = scrubber._vault_bytes(regions)
+    # brute-force reference: walk every interleave block individually
+    slow = {v: 0 for v in range(mapping.units)}
+    step = mapping.interleave_bytes
+    for start, size in regions:
+        addr = start
+        end = start + size
+        while addr < end:
+            block_end = min(end, (addr // step + 1) * step)
+            slow[mapping.unit_of(addr)] += block_end - addr
+            addr = block_end
+    assert fast == slow
+    assert sum(fast.values()) == sum(size for _, size in regions)
+
+
 def test_standalone_scrubber_accepts_explicit_ecc():
     inj = FaultInjector(seed=1)
     system = make_system()

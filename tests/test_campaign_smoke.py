@@ -28,6 +28,18 @@ SCRUB_POINT_KEYS = {
     "scrub_uncorrectable", "scrub_time", "scrub_energy", "scrub_share",
 }
 
+THERMAL_POINT_KEYS = {
+    "margin_k", "interval", "envelope_k", "peak_vault_k", "peak_logic_k",
+    "throttle_time", "throttle_energy", "throttle_events",
+    "throttled_executes", "offline_events", "availability", "deposited",
+    "latent_by_vault", "scrub_time", "total_time", "total_energy",
+}
+
+ARRHENIUS_POINT_KEYS = {
+    "g_sink", "max_temp_k", "peak_vault_k", "deposited",
+    "latent_by_vault",
+}
+
 
 @pytest.fixture(scope="module")
 def payload(tmp_path_factory):
@@ -93,6 +105,64 @@ def test_scrub_sweep_uncorrectables_monotone(payload):
     assert 0 < coarse["scrub_time"] < fine["scrub_time"]
     # deposits come off a dedicated PRNG stream: identical across policy
     assert len({p["deposited"] for p in points}) == 1
+
+
+@pytest.fixture(scope="module")
+def thermal_payload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("campaign") / "BENCH_thermal.json"
+    rc = campaign.main(["--thermal-sweep", str(out),
+                        "--thermal-margins", "4.0", "0.0",
+                        "--thermal-intervals", "0", "2",
+                        "--executes", "3"])
+    assert rc == 0
+    with out.open() as fh:
+        return json.load(fh)
+
+
+def test_thermal_schema_is_stable(thermal_payload):
+    assert thermal_payload["schema"] == campaign.THERMAL_SCHEMA
+    assert set(thermal_payload) == {"schema", "executes", "seed",
+                                    "ambient_k", "envelope_sweep",
+                                    "arrhenius_contrast"}
+    points = thermal_payload["envelope_sweep"]
+    assert len(points) == 4                  # 2 margins x 2 intervals
+    for point in points:
+        assert set(point) == THERMAL_POINT_KEYS
+    contrast = thermal_payload["arrhenius_contrast"]
+    assert set(contrast) == {"cool", "hot"}
+    for point in contrast.values():
+        assert set(point) == ARRHENIUS_POINT_KEYS
+
+
+def test_thermal_throttle_time_monotone_in_margin(thermal_payload):
+    # the acceptance property, on the emitted JSON itself: at a fixed
+    # seed and workload, tightening the envelope margin never decreases
+    # total throttle time — and it never costs the accelerated path
+    for interval in (0, 2):
+        wide, tight = [p for p in thermal_payload["envelope_sweep"]
+                       if p["interval"] == interval]
+        assert wide["margin_k"] > tight["margin_k"]
+        assert wide["throttle_time"] <= tight["throttle_time"]
+        assert wide["throttle_time"] == 0.0   # 4K margin never trips
+        assert tight["throttle_time"] > 0.0   # 0K margin always does
+        assert tight["throttled_executes"] > 0
+        assert wide["availability"] == 1.0
+        assert tight["availability"] == 1.0
+    # the patrol points really scrubbed (and ledgered the walk)
+    scrubbed = [p for p in thermal_payload["envelope_sweep"]
+                if p["interval"] == 2]
+    assert all(p["scrub_time"] > 0.0 for p in scrubbed)
+
+
+def test_thermal_arrhenius_contrast_is_pointwise(thermal_payload):
+    contrast = thermal_payload["arrhenius_contrast"]
+    cool, hot = contrast["cool"], contrast["hot"]
+    assert hot["max_temp_k"] > cool["max_temp_k"]
+    # the hotter stack accepts a superset of the cooler stack's flips:
+    # pointwise per vault, strict in total
+    for vault, count in cool["latent_by_vault"].items():
+        assert hot["latent_by_vault"].get(vault, 0) >= count
+    assert hot["deposited"] >= cool["deposited"]
 
 
 def test_stdout_mode_round_trips(capsys):

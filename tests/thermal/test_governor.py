@@ -1,0 +1,159 @@
+"""Envelope-governor battery: the nominal/throttled/offline machine.
+
+The load-bearing properties: crossing the envelope throttles and only
+cooling ``hysteresis`` kelvin below it releases (so the state can never
+oscillate while the temperature wanders inside one envelope band);
+crossing the critical threshold offlines the vault through the existing
+tile-failure path; the governor repairs only tiles *it* offlined; and
+the lockstep pass slowdown is set by the slowest serving vault.
+"""
+
+import pytest
+
+from repro.accel.layer import AcceleratorLayer
+from repro.thermal import (AMBIENT_K, NOMINAL, OFFLINE, PowerGovernor,
+                           THROTTLED, ThermalConfig, ThermalModel)
+
+
+def make_governor(**overrides):
+    cfg = ThermalConfig(**overrides)
+    layer = AcceleratorLayer()
+    model = ThermalModel(cfg)
+    return PowerGovernor(model, layer, cfg), model, layer
+
+
+def set_temp(model, vault, temp):
+    model.temps[vault] = temp
+
+
+# -- throttle transitions -----------------------------------------------------
+
+
+def test_crossing_the_envelope_throttles():
+    gov, model, _ = make_governor(envelope=348.0)
+    assert gov.state[0] == NOMINAL
+    assert gov.throttle_factor(0) == 1.0
+    set_temp(model, 0, 349.0)
+    gov.poll()
+    assert gov.state[0] == THROTTLED
+    assert gov.throttle_factor(0) == gov.config.throttle_factor
+    assert gov.any_throttled
+    assert gov.stats.throttle_events == 1
+
+
+def test_release_needs_the_full_hysteresis_band():
+    gov, model, _ = make_governor(envelope=348.0, hysteresis=3.0)
+    set_temp(model, 0, 349.0)
+    gov.poll()
+    assert gov.state[0] == THROTTLED
+    # cooled below the envelope but inside the band: still throttled
+    set_temp(model, 0, 346.0)
+    gov.poll()
+    assert gov.state[0] == THROTTLED
+    set_temp(model, 0, 344.9)            # below envelope - hysteresis
+    gov.poll()
+    assert gov.state[0] == NOMINAL
+    assert gov.stats.releases == 1
+
+
+def test_hysteresis_never_oscillates_within_one_band():
+    # temperature wandering anywhere inside (release, envelope] after
+    # the first trip must produce exactly one throttle event and zero
+    # releases, however many polls run
+    gov, model, _ = make_governor(envelope=348.0, hysteresis=3.0)
+    set_temp(model, 0, 348.5)
+    gov.poll()
+    band = [347.9, 345.2, 348.0, 346.1, 347.5, 345.1, 347.99]
+    for temp in band * 3:
+        set_temp(model, 0, temp)
+        gov.poll()
+    assert gov.stats.throttle_events == 1
+    assert gov.stats.releases == 0
+    assert gov.state[0] == THROTTLED
+
+
+def test_pass_slowdown_is_the_slowest_serving_vault():
+    gov, model, _ = make_governor(envelope=348.0, throttle_factor=0.5)
+    serving = list(range(16))
+    assert gov.pass_slowdown(serving) == 1.0
+    assert gov.pass_slowdown([]) == 1.0
+    set_temp(model, 7, 350.0)
+    gov.poll()
+    assert gov.throttled_vaults(serving) == [7]
+    assert gov.pass_slowdown(serving) == 0.5
+    # a pass not touching vault 7 runs at full speed
+    assert gov.pass_slowdown([0, 1, 2]) == 1.0
+
+
+# -- offline and recovery -----------------------------------------------------
+
+
+def test_critical_offlines_through_the_tile_failure_path():
+    gov, model, layer = make_governor(critical=368.0)
+    assert layer.healthy
+    set_temp(model, 4, 369.0)
+    gov.poll()
+    assert gov.state[4] == OFFLINE
+    assert gov.offline == [4]
+    assert layer.tiles[4].failed          # the existing reroute path
+    assert layer.failed_tiles() == [4]
+    assert gov.stats.offline_events == 1
+
+
+def test_offline_vault_recovers_after_cooling_through_release():
+    gov, model, layer = make_governor(envelope=348.0, hysteresis=3.0,
+                                      critical=368.0)
+    set_temp(model, 4, 369.0)
+    gov.poll()
+    assert layer.tiles[4].failed
+    # inside the band: still offline
+    set_temp(model, 4, 346.0)
+    gov.poll()
+    assert gov.state[4] == OFFLINE
+    set_temp(model, 4, AMBIENT_K)
+    gov.poll()
+    assert gov.state[4] == NOMINAL
+    assert not layer.tiles[4].failed
+    assert gov.stats.recoveries == 1
+
+
+def test_governor_never_repairs_a_genuinely_dead_tile():
+    gov, model, layer = make_governor()
+    layer.mark_tile_failed(2)             # injected hard failure
+    set_temp(model, 2, 400.0)
+    gov.poll()
+    assert gov.state[2] == OFFLINE        # tracked, but not re-failed
+    assert gov.stats.offline_events == 1
+    set_temp(model, 2, AMBIENT_K)
+    gov.poll()
+    # cooled right down — but the tile was not the governor's to repair
+    assert layer.tiles[2].failed
+    assert gov.state[2] == OFFLINE
+    assert gov.stats.recoveries == 0
+
+
+def test_per_vault_override_forces_an_emergency_on_one_vault():
+    # a sub-ambient critical on vault 9 trips at the very first poll
+    # while every other vault stays nominal at ambient
+    gov, model, layer = make_governor(
+        vault_envelopes={9: AMBIENT_K - 10.0},
+        vault_criticals={9: AMBIENT_K - 5.0})
+    gov.poll()
+    assert gov.state[9] == OFFLINE
+    assert layer.failed_tiles() == [9]
+    assert all(gov.state[v] == NOMINAL for v in range(16) if v != 9)
+    # floored at ambient, it can never cool below the release point:
+    # the emergency is permanent
+    for _ in range(5):
+        model.advance(50e-6)
+        gov.poll()
+    assert gov.state[9] == OFFLINE
+
+
+def test_throttle_stats_accumulate_per_vault():
+    gov, _, _ = make_governor()
+    gov.stats.note_throttled(2e-6, [3, 5])
+    gov.stats.note_throttled(1e-6, [5])
+    assert gov.stats.time_throttled == pytest.approx(3e-6)
+    assert gov.stats.time_throttled_by_vault[3] == pytest.approx(2e-6)
+    assert gov.stats.time_throttled_by_vault[5] == pytest.approx(3e-6)
