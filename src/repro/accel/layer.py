@@ -8,7 +8,7 @@ dispatches on and the area/power accounting behind Table 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.accel.axpy import AxpyAccelerator
 from repro.accel.base import AcceleratorCore, DEFAULT_FREQ_HZ, DEFAULT_TILES
@@ -56,6 +56,10 @@ class AcceleratorLayer:
         # the minimal-distance candidates; None (the default) keeps the
         # purely topological choice — the golden-baseline guarantee.
         self.thermal: Optional[object] = None
+        # Fired whenever a tile's health actually transitions (fail or
+        # repair). The schedule cache hangs its health-epoch
+        # invalidation off this hook.
+        self.on_health_change: Optional[Callable[[], None]] = None
         for accel_type in ACCELERATOR_TYPES:
             core = accel_type(tiles=tiles, freq_hz=freq_hz)
             self.accelerators[core.name] = core
@@ -64,11 +68,19 @@ class AcceleratorLayer:
 
     def mark_tile_failed(self, vault: int) -> None:
         """Hard-fail the tile bonded to ``vault``."""
-        self.tiles[vault].mark_failed()
+        tile = self.tiles[vault]
+        changed = not tile.failed
+        tile.mark_failed()
+        if changed and self.on_health_change is not None:
+            self.on_health_change()
 
     def repair_tile(self, vault: int) -> None:
         """Return a failed tile to service (thermal recovery)."""
-        self.tiles[vault].repair()
+        tile = self.tiles[vault]
+        changed = tile.failed
+        tile.repair()
+        if changed and self.on_health_change is not None:
+            self.on_health_change()
 
     def failed_tiles(self) -> List[int]:
         """Vault indices whose tiles are marked failed, ascending."""

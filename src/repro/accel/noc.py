@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.accel.synthesis import noc_area, noc_power
 
@@ -55,15 +57,32 @@ class LinkHealth:
     """
 
     _failed: Set[Link] = field(default_factory=set)
+    #: Fired whenever the failed-link set actually changes (a link
+    #: failing or coming back). The schedule cache hangs its
+    #: health-epoch invalidation off this hook.
+    on_change: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False)
+
+    def _fire(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
 
     def fail(self, a: int, b: int) -> None:
-        self._failed.add(_link(a, b))
+        link = _link(a, b)
+        if link not in self._failed:
+            self._failed.add(link)
+            self._fire()
 
     def restore(self, a: int, b: int) -> None:
-        self._failed.discard(_link(a, b))
+        link = _link(a, b)
+        if link in self._failed:
+            self._failed.discard(link)
+            self._fire()
 
     def restore_all(self) -> None:
-        self._failed.clear()
+        if self._failed:
+            self._failed.clear()
+            self._fire()
 
     def is_healthy(self, a: int, b: int) -> bool:
         return _link(a, b) not in self._failed
@@ -210,6 +229,27 @@ class MeshNoc:
             return self.hops(src, dst)
         return len(self.route(src, dst)) - 1
 
+    def hops_batch(self, srcs: "np.ndarray", dst: int) -> "np.ndarray":
+        """XY hop counts from every tile in ``srcs`` to ``dst`` in one
+        vectorized Manhattan-distance evaluation (failure-blind)."""
+        srcs = np.asarray(srcs, dtype=np.int64)
+        if srcs.size and (int(srcs.min()) < 0
+                          or int(srcs.max()) >= self.tiles):
+            raise ValueError(f"tile outside {self.tiles}-tile mesh")
+        rd, cd = self.coords(dst)
+        rows, cols = np.divmod(srcs, self.cols)
+        return np.abs(rows - rd) + np.abs(cols - cd)
+
+    def route_hops_batch(self, srcs: "np.ndarray", dst: int
+                         ) -> "np.ndarray":
+        """:meth:`route_hops` over an array of sources: the vectorized
+        Manhattan kernel when every link is healthy, falling back to
+        per-pair adaptive routing only in the degraded regime."""
+        if not self.health.degraded:
+            return self.hops_batch(srcs, dst)
+        return np.array([len(self.route(int(s), dst)) - 1 for s in srcs],
+                        dtype=np.int64)
+
     def reachable(self, src: int) -> Set[int]:
         """All tiles reachable from ``src`` over healthy links."""
         self.coords(src)
@@ -266,10 +306,9 @@ class MeshNoc:
 
     def mean_hops(self) -> float:
         """Average hop distance over all tile pairs (for reductions)."""
-        total, pairs = 0, 0
-        for a in range(self.tiles):
-            for b in range(self.tiles):
-                if a != b:
-                    total += self.hops(a, b)
-                    pairs += 1
-        return total / pairs if pairs else 0.0
+        if self.tiles < 2:
+            return 0.0
+        rows, cols = np.divmod(np.arange(self.tiles), self.cols)
+        total = (np.abs(rows[:, None] - rows[None, :]).sum()
+                 + np.abs(cols[:, None] - cols[None, :]).sum())
+        return int(total) / (self.tiles * (self.tiles - 1))

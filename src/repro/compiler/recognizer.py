@@ -22,8 +22,8 @@ from repro.accel.reshp import ReshpParams
 from repro.accel.resmp import ResmpParams
 from repro.accel.spmv import SpmvParams
 from repro.compiler.affine import Affine, AffineError
-from repro.compiler.cast import (Assign, Call, ExprStmt, For, Ident, Num,
-                                 Program, VarDecl, stmt_loc)
+from repro.compiler.cast import (Assign, Call, Expr, ExprStmt, For, Ident,
+                                 Num, Program, Stmt, VarDecl, stmt_loc)
 from repro.compiler.diagnostics import SourceLoc
 from repro.compiler.errors import CompilerError
 from repro.compiler.inline import inline_body
@@ -80,7 +80,7 @@ class HostCallStep:
     """
 
     func: str
-    args: Tuple
+    args: Tuple[Expr, ...]
     trips: Tuple[int, ...] = ()
     loop_vars: Tuple[str, ...] = ()
     accel: str = ""
@@ -113,8 +113,8 @@ class ParamsProto:
     addrs: Dict[str, Tuple[str, Affine]]
 
     def instantiate(self, pa_of: Dict[str, int],
-                    loop_values: Optional[Dict[str, int]] = None):
-        values = dict(self.scalars)
+                    loop_values: Optional[Dict[str, int]] = None) -> object:
+        values: Dict[str, object] = dict(self.scalars)
         env = loop_values or {}
         for fld, (buf, offset) in self.addrs.items():
             values[fld] = pa_of[buf] + offset.evaluate(env)
@@ -122,7 +122,7 @@ class ParamsProto:
 
     def stride_table(self, loop_vars: Sequence[str],
                      trips: Sequence[int]) -> StrideTable:
-        deltas = {}
+        deltas: Dict[str, Tuple[int, ...]] = {}
         for fld in self.params_type.ADDR_FIELDS:
             if fld in self.addrs:
                 _, offset = self.addrs[fld]
@@ -152,7 +152,7 @@ class AccelCallStep:
     trips: Tuple[int, ...] = ()
     loop_vars: Tuple[str, ...] = ()
     func: str = ""
-    args: Tuple = ()
+    args: Tuple[Expr, ...] = ()
     omp: bool = False
     chain: Tuple[str, ...] = ()
     loc: Optional[SourceLoc] = field(default=None, compare=False,
@@ -177,6 +177,10 @@ class AccelCallStep:
         return total
 
 
+# Schedule steps are an open set: the recognizer emits the five step
+# kinds above, and the optimizer (repro.compiler.passes) later splices
+# its own ChainStep/DescriptorStep nodes into the same list — consumers
+# dispatch by isinstance, so the alias stays deliberately wide.
 Step = object
 
 
@@ -230,13 +234,13 @@ class Recognizer:
                ) -> RecognizerError:
         return RecognizerError(message, loc=loc or self._loc)
 
-    def _const(self, expr) -> int:
+    def _const(self, expr: Expr) -> int:
         try:
             return self.env.eval_const(expr)
         except SemanticError as exc:
             raise self._error(exc.message) from exc
 
-    def _addr(self, expr) -> Tuple[str, Affine]:
+    def _addr(self, expr: Expr) -> Tuple[str, Affine]:
         try:
             return self.env.buffer_address(expr)
         except SemanticError as exc:
@@ -253,7 +257,8 @@ class Recognizer:
         self._walk(self.program.stmts, loop_vars=(), trips=())
         return self.schedule
 
-    def _walk(self, stmts, loop_vars, trips) -> None:
+    def _walk(self, stmts: Sequence[Stmt], loop_vars: Tuple[str, ...],
+              trips: Tuple[int, ...]) -> None:
         for stmt in stmts:
             self._loc = stmt_loc(stmt) or self._loc
             if isinstance(stmt, VarDecl):
@@ -268,7 +273,8 @@ class Recognizer:
             else:
                 raise self._error(f"unsupported statement {stmt!r}")
 
-    def _handle_for(self, loop: For, loop_vars, trips) -> None:
+    def _handle_for(self, loop: For, loop_vars: Tuple[str, ...],
+                    trips: Tuple[int, ...]) -> None:
         start = self._const(loop.start)
         bound = self._const(loop.bound)
         if start != 0 or loop.step != 1:
@@ -285,7 +291,8 @@ class Recognizer:
         finally:
             self._omp = was_omp
 
-    def _inline_call(self, call: Call, loop_vars, trips) -> None:
+    def _inline_call(self, call: Call, loop_vars: Tuple[str, ...],
+                     trips: Tuple[int, ...]) -> None:
         """Splice a user-defined function body into the call site.
 
         Recursion carries code MEA011: the effect summary is
@@ -311,7 +318,8 @@ class Recognizer:
             self._chain = prev_chain
             self._inline_stack.pop()
 
-    def _handle_assign(self, stmt: Assign, loop_vars) -> None:
+    def _handle_assign(self, stmt: Assign,
+                       loop_vars: Tuple[str, ...]) -> None:
         if loop_vars:
             raise self._error("assignments inside OpenMP nests are "
                                   "not supported")
@@ -354,7 +362,7 @@ class Recognizer:
             src_offset=src_off.const, dst=dst, dst_offset=dst_off.const,
             sign=sign)
 
-    def _iodims(self, expr, rank: int) -> List[IoDimSpec]:
+    def _iodims(self, expr: Expr, rank: int) -> List[IoDimSpec]:
         if rank == 0:
             return []
         if isinstance(expr, Ident) and expr.name in self.env.iodims:
@@ -369,7 +377,8 @@ class Recognizer:
 
     # -- call dispatch ----------------------------------------------------------
 
-    def _handle_call(self, call: Call, loop_vars, trips) -> None:
+    def _handle_call(self, call: Call, loop_vars: Tuple[str, ...],
+                     trips: Tuple[int, ...]) -> None:
         name = call.func
         loc = call.loc or self._loc
         if name in self.functions:
@@ -413,8 +422,10 @@ class Recognizer:
         step = builder(call, loop_vars, trips)
         self.schedule.steps.append(step)
 
-    def _accel_step(self, accel, proto, in_bufs, out_bufs, loop_vars,
-                    trips, call: Optional[Call] = None) -> AccelCallStep:
+    def _accel_step(self, accel: str, proto: ParamsProto,
+                    in_bufs: Sequence[str], out_bufs: Sequence[str],
+                    loop_vars: Sequence[str], trips: Sequence[int],
+                    call: Optional[Call] = None) -> AccelCallStep:
         return AccelCallStep(accel=accel, proto=proto,
                              in_bufs=tuple(in_bufs),
                              out_bufs=tuple(out_bufs),
@@ -428,7 +439,8 @@ class Recognizer:
 
     # -- builders, one per Table 1 function -------------------------------------
 
-    def _build_cblas_saxpy(self, call, loop_vars, trips):
+    def _build_cblas_saxpy(self, call: Call, loop_vars: Tuple[str, ...],
+                            trips: Tuple[int, ...]) -> AccelCallStep:
         n, alpha, x, incx, y, incy = call.args
         if self._const(incx) != 1 or self._const(incy) != 1:
             raise self._error("accelerated saxpy requires unit "
@@ -443,7 +455,8 @@ class Recognizer:
         return self._accel_step("AXPY", proto, [xbuf, ybuf], [ybuf],
                                 loop_vars, trips, call)
 
-    def _dot_step(self, call, loop_vars, trips, dtype):
+    def _dot_step(self, call: Call, loop_vars: Tuple[str, ...],
+                   trips: Tuple[int, ...], dtype: int) -> AccelCallStep:
         n, x, incx, y, incy, out = call.args
         xbuf, xoff = self._addr(x)
         ybuf, yoff = self._addr(y)
@@ -457,13 +470,16 @@ class Recognizer:
         return self._accel_step("DOT", proto, [xbuf, ybuf], [obuf],
                                 loop_vars, trips, call)
 
-    def _build_cblas_sdot_sub(self, call, loop_vars, trips):
+    def _build_cblas_sdot_sub(self, call: Call, loop_vars: Tuple[str, ...],
+                               trips: Tuple[int, ...]) -> AccelCallStep:
         return self._dot_step(call, loop_vars, trips, DTYPE_F32)
 
-    def _build_cblas_cdotc_sub(self, call, loop_vars, trips):
+    def _build_cblas_cdotc_sub(self, call: Call, loop_vars: Tuple[str, ...],
+                                trips: Tuple[int, ...]) -> AccelCallStep:
         return self._dot_step(call, loop_vars, trips, DTYPE_C64)
 
-    def _build_cblas_sgemv(self, call, loop_vars, trips):
+    def _build_cblas_sgemv(self, call: Call, loop_vars: Tuple[str, ...],
+                            trips: Tuple[int, ...]) -> AccelCallStep:
         (order, trans, m, n, alpha, a, lda, x, incx, beta, y,
          incy) = call.args
         if self._const(order) != 101 or self._const(trans) != 111:
@@ -488,7 +504,8 @@ class Recognizer:
         return self._accel_step("GEMV", proto, [abuf, xbuf, ybuf],
                                 [ybuf], loop_vars, trips, call)
 
-    def _build_mkl_scsrgemv(self, call, loop_vars, trips):
+    def _build_mkl_scsrgemv(self, call: Call, loop_vars: Tuple[str, ...],
+                             trips: Tuple[int, ...]) -> AccelCallStep:
         m, a, ia, ja, x, y = call.args
         rows = self._const(m)
         abuf, _ = self._addr(a)
@@ -508,7 +525,8 @@ class Recognizer:
                                 [abuf, ibuf, jbuf, xbuf], [ybuf],
                                 loop_vars, trips, call)
 
-    def _build_dfsInterpolate1D(self, call, loop_vars, trips):
+    def _build_dfsInterpolate1D(self, call: Call, loop_vars: Tuple[str, ...],
+                                 trips: Tuple[int, ...]) -> AccelCallStep:
         blocks, n_in, knots, series, n_out, sites, out = call.args
         kbuf, koff = self._addr(knots)
         ibuf, ioff = self._addr(series)
@@ -524,7 +542,8 @@ class Recognizer:
         return self._accel_step("RESMP", proto, [kbuf, ibuf, sbuf],
                                 [obuf], loop_vars, trips, call)
 
-    def _build_mkl_simatcopy(self, call, loop_vars, trips):
+    def _build_mkl_simatcopy(self, call: Call, loop_vars: Tuple[str, ...],
+                              trips: Tuple[int, ...]) -> AccelCallStep:
         rows, cols, alpha, ab = call.args
         if float(self._const(alpha)) != 1.0:
             raise self._error("accelerated simatcopy requires "
@@ -539,7 +558,8 @@ class Recognizer:
         return self._accel_step("RESHP", proto, [buf], [buf],
                                 loop_vars, trips, call)
 
-    def _build_mkl_somatcopy(self, call, loop_vars, trips):
+    def _build_mkl_somatcopy(self, call: Call, loop_vars: Tuple[str, ...],
+                              trips: Tuple[int, ...]) -> AccelCallStep:
         rows, cols, alpha, a, b = call.args
         if float(self._const(alpha)) != 1.0:
             raise self._error("accelerated somatcopy requires "
@@ -555,7 +575,8 @@ class Recognizer:
         return self._accel_step("RESHP", proto, [abuf], [bbuf],
                                 loop_vars, trips, call)
 
-    def _build_fftwf_execute(self, call, loop_vars, trips):
+    def _build_fftwf_execute(self, call: Call, loop_vars: Tuple[str, ...],
+                              trips: Tuple[int, ...]) -> AccelCallStep:
         arg = call.args[0]
         if not isinstance(arg, Ident) or arg.name not in self.env.plans:
             raise self._error("fftwf_execute takes a prepared plan")
@@ -567,8 +588,10 @@ class Recognizer:
         raise self._error("only rank-0 and rank-1 guru plans are "
                               "supported")
 
-    def _fft_from_plan(self, plan: PlanSpec, loop_vars, trips,
-                       call: Optional[Call] = None):
+    def _fft_from_plan(self, plan: PlanSpec,
+                       loop_vars: Tuple[str, ...],
+                       trips: Tuple[int, ...],
+                       call: Optional[Call] = None) -> AccelCallStep:
         dim = plan.dims[0]
         if dim.istride != 1 or dim.ostride != 1:
             raise self._error("accelerated FFT needs unit transform "
@@ -586,8 +609,11 @@ class Recognizer:
         return self._accel_step("FFT", proto, [plan.src], [plan.dst],
                                 loop_vars, trips, call)
 
-    def _reshape_from_plan(self, plan: PlanSpec, loop_vars, trips,
-                           call: Optional[Call] = None):
+    def _reshape_from_plan(self, plan: PlanSpec,
+                           loop_vars: Tuple[str, ...],
+                           trips: Tuple[int, ...],
+                           call: Optional[Call] = None
+                           ) -> AccelCallStep:
         batch, rows, cols = analyze_corner_turn(plan.howmany)
         elem = self._buffer(plan.src).elem_size
         proto = ParamsProto(
@@ -616,7 +642,8 @@ class Recognizer:
                                 step_vars, step_trips, call)
 
 
-def analyze_corner_turn(howmany: List[IoDimSpec]):
+def analyze_corner_turn(howmany: List[IoDimSpec]
+                        ) -> Tuple[int, int, int]:
     """Classify a rank-0 guru plan as (batch, rows, cols) transpose.
 
     Dims are sorted input-major; a contiguous prefix with identical

@@ -16,6 +16,8 @@ from repro.core.runtime import (AccPlan, Ledger, LedgerEntry,
                                 MealibRuntime, MealibRuntimeError,
                                 ResilienceCounters, ResiliencePolicy,
                                 RuntimeError_)
+from repro.core.schedule_cache import (ScheduleCache, ScheduleCacheStats,
+                                       ScheduleEntry)
 from repro.core.system import MealibSystem
 from repro.core.tdl import (Comp, Loop, ParamStore, Pass, TdlError,
                             TdlProgram, format_tdl, parse_tdl)
@@ -30,6 +32,7 @@ __all__ = [
     "verify_integrity", "InvocationModel", "AccPlan", "Ledger",
     "LedgerEntry", "MealibRuntime", "MealibRuntimeError",
     "ResilienceCounters", "ResiliencePolicy", "RuntimeError_",
+    "ScheduleCache", "ScheduleCacheStats", "ScheduleEntry",
     "MealibSystem", "Comp", "Loop", "ParamStore", "Pass", "TdlError",
     "TdlProgram", "format_tdl", "parse_tdl",
 ]

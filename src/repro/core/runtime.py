@@ -113,6 +113,7 @@ class ResilienceCounters:
     rerouted_stripes: int = 0
     scrub_passes: int = 0
     throttled_executes: int = 0
+    cached_executes: int = 0        # schedule-cache replays
 
     @property
     def availability(self) -> float:
@@ -361,6 +362,8 @@ class MealibRuntime:
                     self.counters.throttled_executes += 1
                     self.ledger.log("throttle", "dvfs-stretch",
                                     execution.throttle_overhead)
+                if execution.cache_hit:
+                    self.counters.cached_executes += 1
                 self._thermal_step(execution)
                 plan.executions += 1
                 return total.plus(execution.result)

@@ -8,12 +8,13 @@ invocation cost model, and the runtime the translated programs call.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.accel.layer import AcceleratorLayer
 from repro.core.config_unit import ConfigurationUnit
 from repro.core.invocation import InvocationModel
 from repro.core.runtime import MealibRuntime, ResiliencePolicy
+from repro.core.schedule_cache import ScheduleCache
 from repro.faults.datapath import DatapathEcc
 from repro.faults.injector import FaultInjector
 from repro.faults.scrub import PatrolScrubber, ScrubConfig
@@ -48,6 +49,16 @@ class MealibSystem:
     vault temperature Arrhenius-scales the latent flip rate. With
     ``faults`` and ``thermal`` left ``None`` the system is exactly the
     unhardened baseline.
+
+    ``schedule_cache`` arms the descriptor-keyed schedule cache
+    (:class:`~repro.core.schedule_cache.ScheduleCache`): repeated
+    descriptors replay their decode + timing/energy decomposition
+    bit-identically instead of re-simulating the memory system. Pass
+    ``True`` for a default cache, a :class:`ScheduleCache` instance to
+    control capacity (or share one), or ``None``/``False`` (the
+    default) for the fully simulated, cache-free build. All
+    invalidation hooks — link/tile health, governor state, patrol-scrub
+    repairs, injected faults — are wired automatically.
     """
 
     def __init__(self, host: Optional[CpuModel] = None,
@@ -58,7 +69,8 @@ class MealibSystem:
                  faults: Optional[FaultInjector] = None,
                  policy: Optional[ResiliencePolicy] = None,
                  scrub: Optional[ScrubConfig] = None,
-                 thermal: Optional[ThermalConfig] = None):
+                 thermal: Optional[ThermalConfig] = None,
+                 schedule_cache: Union[None, bool, ScheduleCache] = None):
         if scrub is not None and faults is None:
             raise ValueError(
                 "scrub= without faults= would arm a patrol scrubber "
@@ -93,10 +105,29 @@ class MealibSystem:
                 scrub if scrub is not None else ScrubConfig(),
                 mapping=(self.device.mapping if self.thermal is not None
                          else None))
-        self.config_unit = ConfigurationUnit(self.layer, self.space,
-                                             self.device, faults=faults,
-                                             datapath=self.datapath,
-                                             governor=self.governor)
+        if schedule_cache is True:
+            self.schedule_cache: Optional[ScheduleCache] = ScheduleCache()
+        elif isinstance(schedule_cache, ScheduleCache):
+            self.schedule_cache = schedule_cache
+        else:                       # None / False: fully simulated
+            self.schedule_cache = None
+        if self.schedule_cache is not None:
+            cache = self.schedule_cache
+            # every hazard source that can change a replayed result (or
+            # the world it was computed in) bumps an epoch: stale
+            # entries are caught at lookup, never silently replayed
+            self.layer.noc.health.on_change = cache.invalidate_health
+            self.layer.on_health_change = cache.invalidate_health
+            if self.governor is not None:
+                self.governor.on_state_change = cache.invalidate_thermal
+            if self.scrubber is not None:
+                self.scrubber.on_repair = cache.invalidate_scrub
+            if faults is not None:
+                faults.on_latent_change = cache.invalidate_fault
+        self.config_unit = ConfigurationUnit(
+            self.layer, self.space, self.device, faults=faults,
+            datapath=self.datapath, governor=self.governor,
+            schedule_cache=self.schedule_cache)
         self.runtime = MealibRuntime(
             self.space, self.config_unit, invocation, host=self.host,
             faults=faults, policy=policy, datapath=self.datapath,

@@ -41,9 +41,10 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import List, Optional, Sequence, Tuple
 
-from repro.faults.ecc import (ECC_WORD_BITS, OUTCOME_CORRECTED,
-                              OUTCOME_DETECTED, OUTCOME_SILENT,
-                              SecdedModel, UncorrectableEccError, popcount)
+import numpy as np
+
+from repro.faults.ecc import (ECC_WORD_BITS, SecdedModel,
+                              UncorrectableEccError)
 from repro.faults.injector import FaultInjector
 from repro.memmgmt.physmem import PhysicalMemory
 from repro.metrics import ExecResult, ZERO
@@ -112,28 +113,42 @@ class DatapathEcc:
         ecc_on = inj.config.ecc_enabled
         detected: List[int] = []
         dirty = inj.latent_words(merge_ranges(reads))
-        for word, mask in dirty:
-            flips = popcount(mask)
-            outcome = (self.ecc.classify(flips) if ecc_on
-                       else OUTCOME_SILENT)
-            if outcome == OUTCOME_CORRECTED:
-                inj.stats.words_corrected += 1
-                self.stats.words_corrected += 1
-                inj.queue_correction()
-            elif outcome == OUTCOME_DETECTED:
-                # the trap handler demand-repairs the line from the
-                # host's coherent copy (one writeback event), so the
-                # descriptor retry reads clean data
-                inj.stats.words_uncorrectable += 1
-                self.stats.words_repaired += 1
-                inj.queue_correction()
-                detected.append(word)
-            else:                               # silent corruption
-                inj.stats.words_silent += 1
-                self.stats.words_silent += 1
-                self.phys.apply_flips(word, mask)
-            inj.clear_latent_word(word)
         if dirty:
+            # Classify every dirty codeword in one batch: popcount over
+            # the flip masks, then SECDED adjudication as boolean
+            # predicates (1 flip corrected, 2 detected, >= 3 silent;
+            # ECC off sends every dirty word down the silent row).
+            masks = np.fromiter((m for _, m in dirty), dtype=np.uint64,
+                                count=len(dirty))
+            flips = np.bitwise_count(masks)
+            if ecc_on:
+                is_corr = flips == 1
+                is_det = flips == 2
+                is_silent = flips >= 3
+            else:
+                is_corr = np.zeros(len(dirty), dtype=bool)
+                is_det = is_corr
+                is_silent = ~is_corr
+            n_corr = int(np.count_nonzero(is_corr))
+            n_det = int(np.count_nonzero(is_det))
+            n_silent = int(np.count_nonzero(is_silent))
+            inj.stats.words_corrected += n_corr
+            self.stats.words_corrected += n_corr
+            # the trap handler demand-repairs detected doubles from the
+            # host's coherent copy (one writeback event each), so the
+            # descriptor retry reads clean data
+            inj.stats.words_uncorrectable += n_det
+            self.stats.words_repaired += n_det
+            inj.queue_correction(n_corr + n_det)
+            inj.stats.words_silent += n_silent
+            self.stats.words_silent += n_silent
+            for idx in range(len(dirty)):       # ascending word order
+                word, mask = dirty[idx]
+                if is_silent[idx]:              # silent corruption
+                    self.phys.apply_flips(word, mask)
+                elif is_det[idx]:
+                    detected.append(word)
+                inj.clear_latent_word(word)
             self.stats.words_checked += len(dirty)
             self._pending_stream = self._pending_stream.plus(
                 self.ecc.stream_overhead(len(dirty) * WORD_BYTES))

@@ -159,6 +159,11 @@ class FaultInjector:
         #: vault index -> accepted latent flips (thermal-coupled runs;
         #: populated only when deposits are given a ``vault_of`` mapping)
         self.latent_deposits_by_vault: Dict[int, int] = {}
+        #: Fired whenever *new* latent flips land (deposits or planted
+        #: test flips) — the schedule cache's fault invalidation hook.
+        #: Clears (adjudication, scrub, rewrites) do not fire it: they
+        #: happen live on both the cached and the fresh path.
+        self.on_latent_change: Optional[Callable[[], None]] = None
 
     def reset(self) -> None:
         """Re-seed the PRNGs and zero the statistics and latent map."""
@@ -248,6 +253,8 @@ class FaultInjector:
         if mask:
             self._latent[word] = mask
             self.stats.latent_flips_deposited += len(bits)
+            if self.on_latent_change is not None:
+                self.on_latent_change()
         return word
 
     def deposit_latent_flips(
@@ -325,23 +332,30 @@ class FaultInjector:
                         self.latent_deposits_by_vault.get(vault, 0) + 1)
                 break
         self.stats.latent_flips_deposited += deposited
+        if deposited and self.on_latent_change is not None:
+            self.on_latent_change()
         return deposited
 
     def latent_words(self, ranges: Sequence[Tuple[int, int]]
                      ) -> List[Tuple[int, int]]:
         """``(word, mask)`` latent entries overlapping any ``(start,
-        size)`` byte range, in ascending word order."""
+        size)`` byte range, in ascending word order.
+
+        The overlap query is vectorized: one integer comparison per
+        (word, range) pair over a numpy view of the latent map instead
+        of a nested Python loop — exact, order-preserving, and pinned
+        against the scalar walk by ``tests/faults/test_injector.py``.
+        """
         if not self._latent or not ranges:
             return []
         word_bytes = ECC_WORD_BITS // 8
-        out = []
-        for word, mask in self._latent.items():
-            for start, size in ranges:
-                if word + word_bytes > start and word < start + size:
-                    out.append((word, mask))
-                    break
-        out.sort()
-        return out
+        words = np.fromiter(self._latent.keys(), dtype=np.int64,
+                            count=len(self._latent))
+        hit = np.zeros(words.size, dtype=bool)
+        for start, size in ranges:
+            hit |= (words + word_bytes > start) & (words < start + size)
+        out = sorted(int(w) for w in words[hit])
+        return [(w, self._latent[w]) for w in out]
 
     def all_latent_words(self) -> List[Tuple[int, int]]:
         """Every latent ``(word, mask)`` entry, ascending (for patrol)."""

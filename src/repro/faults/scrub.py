@@ -26,7 +26,7 @@ one without a scrubber — the golden-baseline guarantee.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.faults.ecc import (OUTCOME_CORRECTED, OUTCOME_DETECTED,
                               SecdedModel, popcount)
@@ -86,6 +86,10 @@ class PatrolScrubber:
         self.mapping = mapping
         self.stats = ScrubStats()
         self._steps_since_scrub = 0
+        # Fired after a patrol pass that drained (or aliased) at least
+        # one latent word — memory state changed behind the schedule
+        # cache's back, so it hangs its scrub-epoch invalidation here.
+        self.on_repair: Optional[Callable[[], None]] = None
         #: vault -> joules of the most recent patrol pass (the thermal
         #: model's heat feed). Patrol-stream energy lands on the vault
         #: whose stripe was walked and correction energy on the vault
@@ -111,8 +115,10 @@ class PatrolScrubber:
         inj = self.injector
         ecc_on = inj.config.ecc_enabled
         corrections = 0
+        drained = 0
         corr_by_vault: Dict[int, int] = {}
         for word, mask in inj.all_latent_words():
+            drained += 1
             outcome = (self.ecc.classify(popcount(mask)) if ecc_on
                        else None)
             if outcome == OUTCOME_CORRECTED:
@@ -133,6 +139,8 @@ class PatrolScrubber:
                 v = self.mapping.unit_of(word)
                 corr_by_vault[v] = corr_by_vault.get(v, 0) + 1
             inj.clear_latent_word(word)
+        if drained and self.on_repair is not None:
+            self.on_repair()
         self.stats.passes += 1
         regions = self.phys.regions()
         scanned = sum(size for _, size in regions)

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+import numpy as np
+
 
 def _is_pow2(x: int) -> bool:
     return x > 0 and (x & (x - 1)) == 0
@@ -32,6 +34,20 @@ def _fold(x: int, modulus: int) -> int:
         return 0
     out = 0
     while x:
+        out ^= x & (modulus - 1)
+        x >>= bits
+    return out
+
+
+def _fold_array(x: np.ndarray, modulus: int) -> np.ndarray:
+    """Vectorized :func:`_fold` over an int64 array (exact: shifts and
+    XORs only)."""
+    bits = modulus.bit_length() - 1
+    out = np.zeros_like(x)
+    if bits == 0:
+        return out
+    x = x.copy()
+    while np.any(x):
         out ^= x & (modulus - 1)
         x >>= bits
     return out
@@ -81,6 +97,30 @@ class AddressMapping:
         # streams and power-of-two strides that would otherwise alias onto
         # one bank/unit and ping-pong its row buffer.
         bank = bank ^ _fold(row, self.banks)
+        return unit, bank, row, col
+
+    def decompose_batch(self, addrs: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray]:
+        """Vectorized :meth:`decompose` over an int64 address array.
+
+        Returns ``(units, banks, rows, cols)`` arrays. All operations
+        are integer divisions, masks and XOR-folds, so every element is
+        exactly what the scalar path would produce
+        (``tests/memsys/test_vectorized_diff.py`` pins this).
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size and int(addrs.min()) < 0:
+            raise ValueError("negative physical address in batch")
+        block = addrs // self.interleave_bytes
+        unit = (block % self.units) ^ _fold_array(block // self.units,
+                                                  self.units)
+        block = block // self.units
+        col = block % self.cols_per_row
+        block = block // self.cols_per_row
+        bank = block % self.banks
+        row = block // self.banks
+        bank = bank ^ _fold_array(row, self.banks)
         return unit, bank, row, col
 
     def unit_of(self, addr: int) -> int:

@@ -32,6 +32,16 @@ class BankStats:
         self.reads += other.reads
         self.writes += other.writes
 
+    def add_counts(self, hits: int, misses: int, reads: int,
+                   writes: int) -> None:
+        """Fold one drain's batched event counts in (every row miss
+        activates, exactly as the per-access FSM counts them)."""
+        self.row_hits += hits
+        self.row_misses += misses
+        self.activates += misses
+        self.reads += reads
+        self.writes += writes
+
     @property
     def accesses(self) -> int:
         return self.reads + self.writes

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.memsys.address import AddressMapping
 from repro.memsys.bank import BankStats
 from repro.memsys.energy import DramEnergy
@@ -70,23 +72,39 @@ class MemoryDevice:
         its share with fresh controller state (a drain models one
         operation executing from a quiescent device).
         """
-        per_unit: List[List[Tuple[int, int, bool]]] = [
-            [] for _ in range(self.units)]
-        count = 0
-        decompose = self.mapping.decompose
-        for addr, is_write in requests:
-            unit, bank, row, _ = decompose(addr)
-            per_unit[unit].append((bank, row, is_write))
-            count += 1
+        reqs = list(requests)
+        addrs = np.fromiter((r[0] for r in reqs), dtype=np.int64,
+                            count=len(reqs))
+        writes = np.fromiter((r[1] for r in reqs), dtype=bool,
+                             count=len(reqs))
+        return self.run_trace_arrays(addrs, writes)
+
+    def run_trace_arrays(self, addrs: np.ndarray,
+                         writes: np.ndarray) -> MemResult:
+        """:meth:`run_trace` over parallel (address, is_write) arrays.
+
+        The batch decompose and per-unit split are vectorized (boolean
+        masks preserve the trace order within each unit); each unit's
+        drain then runs the controller's array fast path. Results are
+        element-for-element identical to the scalar walk
+        (``tests/memsys/test_vectorized_diff.py``).
+        """
+        count = int(addrs.size)
         finish = 0.0
         stats = BankStats()
-        for unit_requests in per_unit:
-            if not unit_requests:
-                continue
-            controller = VaultController(self.timing, self.reorder_window)
-            result = controller.service(unit_requests)
-            finish = max(finish, result.finish_time)
-            stats.merge(result.stats)
+        if count:
+            units, banks, rows, _ = self.mapping.decompose_batch(addrs)
+            for unit in range(self.units):
+                mask = units == unit
+                if not mask.any():
+                    continue
+                controller = VaultController(self.timing,
+                                             self.reorder_window)
+                result = controller.service_arrays(
+                    banks[mask].tolist(), rows[mask].tolist(),
+                    writes[mask].tolist())
+                finish = max(finish, result.finish_time)
+                stats.merge(result.stats)
         bytes_moved = count * self.request_bytes
         dynamic = (stats.activates * self.energy.e_activate
                    + stats.accesses * self.energy.burst_energy(

@@ -10,6 +10,8 @@ model in :mod:`repro.memsys.bank`, not fitted constants.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Tuple
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,18 @@ class DramTiming:
     def peak_bandwidth(self) -> float:
         """Peak bus bandwidth in bytes/second."""
         return self.bytes_per_cycle * self.clock_hz
+
+    @cached_property
+    def drain_constants(self) -> Tuple[float, float, float, float,
+                                       float, float, float]:
+        """``(t_rcd, t_cas, t_rp, t_ras, t_wr, t_ccd, t_burst)``.
+
+        Hoisted once per drain by the vault controller's fast path so
+        the per-access recurrence touches only local floats (the
+        instance is frozen, so the tuple can never go stale).
+        """
+        return (self.t_rcd, self.t_cas, self.t_rp, self.t_ras,
+                self.t_wr, self.t_ccd, self.t_burst)
 
     def scaled_clock(self, clock_hz: float) -> "DramTiming":
         """Return a copy with a different bus clock, keeping absolute

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.memsys.device import MemoryDevice, Request
 from repro.memsys.result import MemResult
 
@@ -109,24 +111,110 @@ def seq_write(base: int, n_bytes: int, elem_bytes: int = 4) -> StreamSpec:
                       elem_bytes=elem_bytes, is_write=True)
 
 
-def _emit_stream_window(stream: StreamSpec, n_sample: int,
-                        burst_bytes: int) -> List[Request]:
-    """Expand the first ``n_sample`` elements into burst requests.
+def _element_addrs(stream: StreamSpec, n_sample: int) -> np.ndarray:
+    """Addresses of the first ``n_sample`` element touches (int64).
+
+    Vectorized counterpart of :meth:`StreamSpec.element_addr`: the
+    sequential/strided/blocked kinds are pure integer arithmetic, and
+    the gather kind runs the 63-bit LCG in uint64 — wrapping modulo
+    2**64 and masking to 63 bits leaves the low bits (the only ones the
+    modulus reduction sees) exactly equal to the scalar path's.
+    """
+    if n_sample <= 0:
+        return np.empty(0, dtype=np.int64)
+    idx = np.arange(n_sample, dtype=np.int64)
+    if stream.kind == "seq":
+        return stream.base + idx * stream.elem_bytes
+    if stream.kind == "strided":
+        step = stream.stride if stream.stride else stream.elem_bytes
+        return stream.base + idx * step
+    if stream.kind == "blocked":
+        block, off = np.divmod(idx, stream.block_elems)
+        return (stream.base + block * stream.block_stride
+                + off * stream.elem_bytes)
+    # gather: the deterministic LCG over the region
+    state = idx.astype(np.uint64) + np.uint64(0x9E3779B9)
+    with np.errstate(over="ignore"):
+        state = (state * np.uint64(6364136223846793005)
+                 + np.uint64(1442695040888963407))
+    state &= np.uint64((1 << 63) - 1)
+    region_elems = max(1, stream.region_bytes // stream.elem_bytes)
+    picks = (state % np.uint64(region_elems)).astype(np.int64)
+    return stream.base + picks * stream.elem_bytes
+
+
+def _emit_window_array(stream: StreamSpec, n_sample: int,
+                       burst_bytes: int) -> np.ndarray:
+    """Burst-request addresses of one stream's sampled window (int64).
 
     Consecutive touches that fall into the same burst-aligned block are
     coalesced — a dense scan costs one request per burst, a wide-strided
     walk costs one request per element. That asymmetry is exactly what
     makes transpose-like patterns slow on DRAM.
     """
-    requests: List[Request] = []
-    last_block = -1
-    for i in range(n_sample):
-        addr = stream.element_addr(i)
-        block = addr // burst_bytes
-        if block != last_block or stream.kind == "gather":
-            requests.append((block * burst_bytes, stream.is_write))
-            last_block = block
-    return requests
+    addrs = _element_addrs(stream, n_sample)
+    if addrs.size == 0:
+        return addrs
+    blocks = addrs // burst_bytes
+    if stream.kind == "gather":
+        return blocks * burst_bytes
+    keep = np.empty(blocks.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(blocks[1:], blocks[:-1], out=keep[1:])
+    return blocks[keep] * burst_bytes
+
+
+def _emit_stream_window(stream: StreamSpec, n_sample: int,
+                        burst_bytes: int) -> List[Request]:
+    """Expand the first ``n_sample`` elements into burst requests."""
+    addrs = _emit_window_array(stream, n_sample, burst_bytes)
+    w = stream.is_write
+    return [(int(a), w) for a in addrs]
+
+
+def _merge_plan(window_lens: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Gang-granular interleave order: ``(window, start, take)`` chunks.
+
+    Replays the proportional round-robin exactly — the stream least far
+    through its window (by the same float fraction comparison) issues
+    the next gang — but over whole gangs instead of single requests.
+    """
+    cursors = [0] * len(window_lens)
+    remaining = sum(window_lens)
+    plan: List[Tuple[int, int, int]] = []
+    while remaining:
+        best = -1
+        best_frac = 2.0
+        for idx, length in enumerate(window_lens):
+            if cursors[idx] >= length:
+                continue
+            frac = cursors[idx] / length
+            if frac < best_frac:
+                best_frac = frac
+                best = idx
+        take = min(GANG_ELEMS, window_lens[best] - cursors[best])
+        plan.append((best, cursors[best], take))
+        cursors[best] += take
+        remaining -= take
+    return plan
+
+
+def _merge_window_arrays(streams: Sequence[StreamSpec],
+                         n_samples: Sequence[int], burst_bytes: int
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Merged ``(addresses, is_write)`` arrays of the sampled windows."""
+    windows = [_emit_window_array(s, n, burst_bytes)
+               for s, n in zip(streams, n_samples)]
+    plan = _merge_plan([w.size for w in windows])
+    total = sum(take for _, _, take in plan)
+    addrs = np.empty(total, dtype=np.int64)
+    writes = np.empty(total, dtype=bool)
+    pos = 0
+    for idx, start, take in plan:
+        addrs[pos:pos + take] = windows[idx][start:start + take]
+        writes[pos:pos + take] = streams[idx].is_write
+        pos += take
+    return addrs, writes
 
 
 def merge_streams(streams: Sequence[StreamSpec], n_samples: Sequence[int],
@@ -137,26 +225,8 @@ def merge_streams(streams: Sequence[StreamSpec], n_samples: Sequence[int],
     far through its window goes next — modeling concurrent stream buffers
     draining at matched rates.
     """
-    windows = [_emit_stream_window(s, n, burst_bytes)
-               for s, n in zip(streams, n_samples)]
-    cursors = [0] * len(windows)
-    merged: List[Request] = []
-    total = sum(len(w) for w in windows)
-    while len(merged) < total:
-        best = -1
-        best_frac = 2.0
-        for idx, window in enumerate(windows):
-            if cursors[idx] >= len(window):
-                continue
-            frac = cursors[idx] / len(window)
-            if frac < best_frac:
-                best_frac = frac
-                best = idx
-        window = windows[best]
-        take = min(GANG_ELEMS, len(window) - cursors[best])
-        merged.extend(window[cursors[best]:cursors[best] + take])
-        cursors[best] += take
-    return merged
+    addrs, writes = _merge_window_arrays(streams, n_samples, burst_bytes)
+    return [(int(a), bool(w)) for a, w in zip(addrs, writes)]
 
 
 def simulate_streams(device: MemoryDevice, streams: Sequence[StreamSpec],
@@ -173,8 +243,9 @@ def simulate_streams(device: MemoryDevice, streams: Sequence[StreamSpec],
     total_elems = sum(s.n_elems for s in streams)
     fraction = min(1.0, window_elems / total_elems)
     n_samples = [max(1, int(round(s.n_elems * fraction))) for s in streams]
-    requests = merge_streams(streams, n_samples, device.request_bytes)
-    window_result = device.run_trace(requests)
+    addrs, writes = _merge_window_arrays(streams, n_samples,
+                                         device.request_bytes)
+    window_result = device.run_trace_arrays(addrs, writes)
     sampled_elems = sum(n_samples)
     scale = total_elems / sampled_elems
     return window_result.scaled(scale)

@@ -5,6 +5,17 @@ reorder window: among the oldest ``window`` pending requests it prefers one
 that hits an already-open row, falling back to the oldest request. This is
 the scheduling policy real vault controllers (and the paper's in-house
 simulator) use to recover row-buffer locality from interleaved streams.
+
+The drain loop here is the flattened twin of :meth:`Bank.access`: bank
+state lives in local lists and the per-access arithmetic is inlined, so
+a 64K-request window drains without any per-request attribute or method
+dispatch. Every float operation happens in exactly the order (and with
+exactly the operands) of the reference bank FSM — the timing recurrence
+``finish = max(col + t_cas, bus_free) + t_burst`` is a genuine serial
+dependence and must not be reassociated, which is why it stays a lean
+loop instead of a numpy kernel (see DESIGN.md). Bit-identity against
+the reference :class:`Bank` path is pinned by
+``tests/memsys/test_vectorized_diff.py``.
 """
 
 from __future__ import annotations
@@ -45,28 +56,106 @@ class VaultController:
         Returns the completion time of the last data burst plus merged
         bank statistics.
         """
-        pending: List[LocalRequest] = list(requests)
-        now = max(start, self._bus_free_at)
+        return self.service_arrays([r[0] for r in requests],
+                                   [r[1] for r in requests],
+                                   [r[2] for r in requests], start)
+
+    def service_arrays(self, req_banks: Sequence[int],
+                       req_rows: Sequence[int],
+                       req_writes: Sequence[bool],
+                       start: float = 0.0) -> VaultResult:
+        """:meth:`service` over parallel (bank, row, is_write) columns.
+
+        The fast path for array-fed traces; accepts lists or numpy
+        arrays. State is loaded from (and stored back to) the reference
+        :class:`Bank` objects, so interleaving ``service`` and
+        ``service_arrays`` calls on one controller is safe.
+        """
+        (t_rcd, t_cas, t_rp, t_ras, t_wr, t_ccd,
+         t_burst) = self.timing.drain_constants
+        bank_objs = self.banks
+        open_row = [b.open_row for b in bank_objs]
+        ready_act = [b._ready_act for b in bank_objs]
+        ready_col = [b._ready_col for b in bank_objs]
+        ready_pre = [b._ready_pre for b in bank_objs]
+        n_hits = [0] * len(bank_objs)
+        n_miss = [0] * len(bank_objs)
+        n_reads = [0] * len(bank_objs)
+        n_writes = [0] * len(bank_objs)
+        pending_b = [int(b) for b in req_banks]
+        pending_r = [int(r) for r in req_rows]
+        pending_w = [bool(w) for w in req_writes]
+        bus = self._bus_free_at
+        now = start if start > bus else bus
         finish = now
         head = 0
-        n = len(pending)
+        n = len(pending_b)
+        window = self.window
         while head < n:
-            limit = min(head + self.window, n)
+            limit = head + window
+            if limit > n:
+                limit = n
             pick = head
             for i in range(head, limit):
-                bank_idx, row, _ = pending[i]
-                if self.banks[bank_idx].row_is_open(row):
+                if open_row[pending_b[i]] == pending_r[i]:
                     pick = i
                     break
-            bank_idx, row, is_write = pending[pick]
+            bank = pending_b[pick]
+            row = pending_r[pick]
+            is_write = pending_w[pick]
             if pick != head:
-                pending[pick] = pending[head]
+                pending_b[pick] = pending_b[head]
+                pending_r[pick] = pending_r[head]
+                pending_w[pick] = pending_w[head]
             head += 1
-            done = self.banks[bank_idx].access(
-                row, is_write, now, self._bus_free_at)
-            self._bus_free_at = done
-            finish = max(finish, done)
+            # inlined Bank.access (same operations, same order)
+            if open_row[bank] == row:
+                n_hits[bank] += 1
+                rc = ready_col[bank]
+                col_at = now if now > rc else rc
+            else:
+                n_miss[bank] += 1
+                ra = ready_act[bank]
+                if open_row[bank] >= 0:
+                    rp = ready_pre[bank]
+                    pre_at = now if now > rp else rp
+                    act_at = pre_at + t_rp
+                    if act_at < ra:
+                        act_at = ra
+                else:
+                    act_at = now if now > ra else ra
+                open_row[bank] = row
+                ready_pre[bank] = act_at + t_ras
+                col_at = act_at + t_rcd
+            data_start = col_at + t_cas
+            if data_start < bus:
+                data_start = bus
+            done = data_start + t_burst
+            rc = col_at + t_ccd
+            if rc > ready_col[bank]:
+                ready_col[bank] = rc
+            if is_write:
+                n_writes[bank] += 1
+                rp = done + t_wr
+            else:
+                n_reads[bank] += 1
+                rp = col_at + t_cas
+            if rp > ready_pre[bank]:
+                ready_pre[bank] = rp
+            ra = ready_pre[bank] + t_rp
+            if ra > ready_act[bank]:
+                ready_act[bank] = ra
+            bus = done
+            if done > finish:
+                finish = done
+        self._bus_free_at = bus
         stats = BankStats()
-        for bank in self.banks:
-            stats.merge(bank.stats)
+        for idx, b in enumerate(bank_objs):
+            b.open_row = open_row[idx]
+            b._ready_act = ready_act[idx]
+            b._ready_col = ready_col[idx]
+            b._ready_pre = ready_pre[idx]
+            b.stats.add_counts(n_hits[idx], n_miss[idx], n_reads[idx],
+                               n_writes[idx])
+            stats.merge(b.stats)
         return VaultResult(finish_time=finish, stats=stats)

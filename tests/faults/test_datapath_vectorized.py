@@ -1,0 +1,157 @@
+"""Differential test for the batched SECDED guard classification.
+
+The vectorized :meth:`DatapathEcc.guard` (popcount over a numpy mask
+array, boolean-predicate adjudication) is pinned against a scalar
+reference guard reimplemented here from the per-word algorithm: same
+exception (and arguments), same injector/datapath counters, same
+surviving latent map, same queued correction events, same pending
+stream overhead, and byte-identical backing memory — ECC on and off,
+over randomized flip populations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MealibSystem
+from repro.faults import FaultInjector, UncorrectableEccError, popcount
+from repro.faults.datapath import WORD_BYTES, merge_ranges
+
+
+def reference_guard(dp, reads, writes=()):
+    """The scalar per-word adjudication loop (the pre-vectorization
+    algorithm, kept here as the oracle)."""
+    inj = dp.injector
+    if inj.latent_word_count == 0:
+        return
+    dp.stats.guards += 1
+    ecc_on = inj.config.ecc_enabled
+    detected = []
+    dirty = inj.latent_words(merge_ranges(reads))
+    for word, mask in dirty:
+        flips = popcount(mask)
+        if ecc_on and flips == 1:
+            inj.stats.words_corrected += 1
+            dp.stats.words_corrected += 1
+            inj.queue_correction()
+        elif ecc_on and flips == 2:
+            inj.stats.words_uncorrectable += 1
+            dp.stats.words_repaired += 1
+            inj.queue_correction()
+            detected.append(word)
+        else:
+            inj.stats.words_silent += 1
+            dp.stats.words_silent += 1
+            dp.phys.apply_flips(word, mask)
+        inj.clear_latent_word(word)
+    if dirty:
+        dp.stats.words_checked += len(dirty)
+        dp._pending_stream = dp._pending_stream.plus(
+            dp.ecc.stream_overhead(len(dirty) * WORD_BYTES))
+    for word, _ in inj.latent_words(merge_ranges(writes)):
+        inj.clear_latent_word(word)
+        inj.stats.words_rewritten += 1
+        dp.stats.words_rewritten += 1
+    if detected:
+        raise UncorrectableEccError(detected[0], len(detected))
+
+
+def make_pair(ecc_enabled=True):
+    """Two identically-configured systems with one real buffer each."""
+    out = []
+    for _ in range(2):
+        system = MealibSystem(
+            stack_bytes=64 << 20,
+            faults=FaultInjector(seed=0, ecc_enabled=ecc_enabled))
+        block, arr = system.space.alloc_array((1 << 14,), np.uint8)
+        arr[:] = np.arange(arr.size, dtype=np.uint8)
+        out.append((system, block.pa, arr.size))
+    return out
+
+
+def plant(rng, system, base, size, n_words):
+    """Plant identical random flip populations (1..6 bits per word)."""
+    words = rng.choice(size // WORD_BYTES, size=n_words, replace=False)
+    for w in sorted(int(x) for x in words):
+        k = int(rng.integers(1, 7))
+        bits = [int(b) for b in rng.choice(64, size=k, replace=False)]
+        system.faults.plant_latent_flips(base + w * WORD_BYTES, bits)
+
+
+def run_both(got_sys, ref_sys, reads, writes=()):
+    """Run both guards, return (exception-or-None, exception-or-None)."""
+    exceptions = []
+    for system, runner in ((got_sys, None), (ref_sys, reference_guard)):
+        try:
+            if runner is None:
+                system.datapath.guard(reads, writes)
+            else:
+                runner(system.datapath, reads, writes)
+            exceptions.append(None)
+        except UncorrectableEccError as exc:
+            exceptions.append(exc)
+    return exceptions
+
+
+def assert_states_equal(got, ref):
+    (g_sys, g_base, g_size), (r_sys, r_base, r_size) = got, ref
+    assert g_sys.faults.stats == r_sys.faults.stats
+    assert g_sys.datapath.stats == r_sys.datapath.stats
+    assert g_sys.faults.all_latent_words() == r_sys.faults.all_latent_words()
+    assert (g_sys.faults._pending_corrections
+            == r_sys.faults._pending_corrections)
+    g_cost = g_sys.datapath.drain_stream_overhead()
+    r_cost = r_sys.datapath.drain_stream_overhead()
+    assert g_cost.time == r_cost.time and g_cost.energy == r_cost.energy
+    assert (g_sys.space.driver.phys.read(g_base, g_size)
+            == r_sys.space.driver.phys.read(r_base, r_size))
+
+
+@pytest.mark.parametrize("ecc_enabled", [True, False])
+@pytest.mark.parametrize("seed", range(8))
+def test_guard_matches_scalar_reference(seed, ecc_enabled):
+    got, ref = make_pair(ecc_enabled)
+    (g_sys, base, size), (r_sys, _, _) = got, ref
+    rng = np.random.default_rng(seed)
+    plant(rng, g_sys, base, size, 40)
+    plant(np.random.default_rng(seed), r_sys, base, size, 40)
+    # cover: full-buffer read span, a partial span, disjoint spans with
+    # unmerged gaps, a write span that re-encodes its words, and a
+    # second guard over the already-drained region
+    reads = [(base, size // 2), (base + size // 2 + 512, size // 4)]
+    writes = [(base + 3 * size // 4, size // 8)]
+    g_exc, r_exc = run_both(g_sys, r_sys, reads, writes)
+    assert (g_exc is None) == (r_exc is None)
+    if g_exc is not None:
+        assert g_exc.args == r_exc.args
+    assert_states_equal(got, ref)
+    # the remainder of the buffer still carries flips; drain it too
+    g_exc, r_exc = run_both(g_sys, r_sys, [(base, size)])
+    assert (g_exc is None) == (r_exc is None)
+    if g_exc is not None:
+        assert g_exc.args == r_exc.args
+    assert_states_equal(got, ref)
+
+
+def test_guard_single_double_triple_exact_counters():
+    got, ref = make_pair()
+    (g_sys, base, size), (r_sys, _, _) = got, ref
+    for system in (g_sys, r_sys):
+        system.faults.plant_latent_flips(base, [5])             # corrected
+        system.faults.plant_latent_flips(base + 64, [3, 47])    # detected
+        system.faults.plant_latent_flips(base + 128, [1, 2, 3])  # silent
+    g_exc, r_exc = run_both(g_sys, r_sys, [(base, 256)])
+    assert g_exc is not None and g_exc.args == r_exc.args
+    assert g_sys.datapath.stats.words_corrected == 1
+    assert g_sys.datapath.stats.words_repaired == 1
+    assert g_sys.datapath.stats.words_silent == 1
+    assert g_sys.faults._pending_corrections == 2
+    assert_states_equal(got, ref)
+
+
+def test_guard_clean_latent_map_is_free():
+    got, ref = make_pair()
+    (g_sys, base, size), (r_sys, _, _) = got, ref
+    g_exc, r_exc = run_both(g_sys, r_sys, [(base, size)])
+    assert g_exc is None and r_exc is None
+    assert g_sys.datapath.stats.guards == 0
+    assert_states_equal(got, ref)

@@ -1,0 +1,303 @@
+"""Vectorized-vs-scalar differential battery for the memsys hot paths.
+
+Every numpy'd kernel is pinned against a scalar reference implemented
+here from the retained per-element primitives (`StreamSpec.element_addr`,
+`AddressMapping.decompose`, `Bank.access`): randomized inputs, exact
+(bit-identical) equality. Floats are compared with ``==`` on purpose —
+the vectorized paths must perform the same IEEE operations in the same
+order, not merely approximate them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memsys.address import AddressMapping
+from repro.memsys.bank import Bank, BankStats
+from repro.memsys.device import MemoryDevice
+from repro.memsys.energy import HMC_ENERGY
+from repro.memsys.timing import DDR3_1600_CHANNEL, HMC_VAULT
+from repro.memsys.trace import (GANG_ELEMS, StreamSpec, _element_addrs,
+                                _emit_stream_window, merge_streams)
+from repro.memsys.vault import VaultController
+
+RNG_SEED = 987654321
+
+
+def random_stream(rng, kind=None) -> StreamSpec:
+    kind = kind or ("seq", "strided", "gather",
+                    "blocked")[int(rng.integers(4))]
+    elem_bytes = int(rng.choice([2, 4, 8, 16]))
+    n = int(rng.integers(1, 4000))
+    base = int(rng.integers(0, 1 << 28)) & ~7
+    if kind == "seq":
+        return StreamSpec(base=base, n_elems=n, elem_bytes=elem_bytes,
+                          is_write=bool(rng.integers(2)))
+    if kind == "strided":
+        return StreamSpec(base=base, n_elems=n, elem_bytes=elem_bytes,
+                          stride=int(rng.integers(0, 9)) * elem_bytes,
+                          kind="strided",
+                          is_write=bool(rng.integers(2)))
+    if kind == "gather":
+        return StreamSpec(base=base, n_elems=n, elem_bytes=elem_bytes,
+                          region_bytes=int(rng.integers(1, 1 << 22)),
+                          kind="gather", is_write=bool(rng.integers(2)))
+    return StreamSpec(base=base, n_elems=n, elem_bytes=elem_bytes,
+                      block_elems=int(rng.integers(1, 200)),
+                      block_stride=int(rng.integers(1, 1 << 16)),
+                      kind="blocked", is_write=bool(rng.integers(2)))
+
+
+# -- element address generation ------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["seq", "strided", "gather", "blocked"])
+def test_element_addrs_match_scalar(kind):
+    rng = np.random.default_rng(RNG_SEED)
+    for _ in range(40):
+        s = random_stream(rng, kind)
+        n = min(s.n_elems, 1500)
+        got = _element_addrs(s, n)
+        want = [s.element_addr(i) for i in range(n)]
+        assert got.dtype == np.int64
+        assert got.tolist() == want
+
+
+def test_gather_lcg_exact_at_large_indices():
+    # the uint64 LCG must wrap mod 2**64 exactly like Python's
+    # arbitrary-precision arithmetic masked to 63 bits
+    s = StreamSpec(base=64, n_elems=1 << 20, elem_bytes=8,
+                   region_bytes=1 << 24, kind="gather")
+    idx = [0, 1, 2, 65535, (1 << 20) - 1]
+    got = _element_addrs(s, 1 << 20)
+    for i in idx:
+        assert int(got[i]) == s.element_addr(i)
+
+
+def test_element_addrs_empty_window():
+    s = random_stream(np.random.default_rng(0), "seq")
+    assert _element_addrs(s, 0).size == 0
+
+
+# -- burst coalescing ----------------------------------------------------------
+
+
+def reference_emit(stream, n_sample, burst_bytes):
+    """The scalar burst coalescer: consecutive same-block touches fold
+    into one request; gathers never coalesce."""
+    out = []
+    last_block = -1
+    for i in range(n_sample):
+        block = stream.element_addr(i) // burst_bytes
+        if stream.kind == "gather" or block != last_block:
+            out.append((block * burst_bytes, stream.is_write))
+        last_block = block
+    return out
+
+
+def test_emit_window_matches_scalar_reference():
+    rng = np.random.default_rng(RNG_SEED + 1)
+    for _ in range(60):
+        s = random_stream(rng)
+        n = min(s.n_elems, 1200)
+        burst = int(rng.choice([32, 64, 128]))
+        assert _emit_stream_window(s, n, burst) == reference_emit(
+            s, n, burst)
+
+
+# -- proportional round-robin merge --------------------------------------------
+
+
+def reference_merge(streams, n_samples, burst_bytes):
+    """Scalar merge: the stream least far through its window (by exact
+    float fraction) issues the next gang of requests."""
+    windows = [reference_emit(s, n, burst_bytes)
+               for s, n in zip(streams, n_samples)]
+    cursors = [0] * len(windows)
+    out = []
+    while any(c < len(w) for c, w in zip(cursors, windows)):
+        best, best_frac = -1, 2.0
+        for idx, w in enumerate(windows):
+            if cursors[idx] >= len(w):
+                continue
+            frac = cursors[idx] / len(w)
+            if frac < best_frac:
+                best_frac = frac
+                best = idx
+        take = min(GANG_ELEMS, len(windows[best]) - cursors[best])
+        out.extend(windows[best][cursors[best]:cursors[best] + take])
+        cursors[best] += take
+    return out
+
+
+def test_merge_streams_matches_scalar_reference():
+    rng = np.random.default_rng(RNG_SEED + 2)
+    for _ in range(25):
+        k = int(rng.integers(1, 5))
+        streams = [random_stream(rng) for _ in range(k)]
+        n_samples = [min(s.n_elems, int(rng.integers(1, 700)))
+                     for s in streams]
+        burst = 64
+        assert merge_streams(streams, n_samples, burst) == \
+            reference_merge(streams, n_samples, burst)
+
+
+# -- address decomposition -----------------------------------------------------
+
+
+def test_decompose_batch_matches_scalar():
+    rng = np.random.default_rng(RNG_SEED + 3)
+    mapping = AddressMapping(interleave_bytes=256, units=16, banks=8,
+                             row_bytes=2048)
+    addrs = rng.integers(0, 1 << 40, size=5000)
+    units, banks, rows, cols = mapping.decompose_batch(addrs)
+    for i in range(0, 5000, 7):
+        assert ((int(units[i]), int(banks[i]), int(rows[i]),
+                 int(cols[i])) == mapping.decompose(int(addrs[i])))
+
+
+def test_decompose_batch_rejects_negative():
+    mapping = AddressMapping(interleave_bytes=256, units=4, banks=8,
+                             row_bytes=2048)
+    with pytest.raises(ValueError):
+        mapping.decompose_batch(np.array([0, -8], dtype=np.int64))
+
+
+# -- vault controller drain ----------------------------------------------------
+
+
+def reference_service(timing, window, requests, banks=None, bus=0.0,
+                      start=0.0):
+    """The reference FR-FCFS drain over the scalar :class:`Bank` FSM:
+    among the oldest ``window`` pending requests, prefer a row hit,
+    fall back to the oldest (swap-deferring the displaced head)."""
+    if banks is None:
+        banks = [Bank(timing) for _ in range(timing.banks)]
+    pending = list(requests)
+    now = start if start > bus else bus
+    finish = now
+    head = 0
+    while head < len(pending):
+        limit = min(head + window, len(pending))
+        pick = head
+        for i in range(head, limit):
+            if banks[pending[i][0]].row_is_open(pending[i][1]):
+                pick = i
+                break
+        bank, row, is_write = pending[pick]
+        if pick != head:
+            pending[pick] = pending[head]
+        head += 1
+        done = banks[bank].access(row, is_write, now, bus)
+        bus = done
+        if done > finish:
+            finish = done
+    stats = BankStats()
+    for b in banks:
+        stats.merge(b.stats)
+    return finish, stats, banks, bus
+
+
+def random_requests(rng, timing, n):
+    return [(int(rng.integers(timing.banks)), int(rng.integers(64)),
+             bool(rng.integers(2))) for _ in range(n)]
+
+
+@pytest.mark.parametrize("timing", [HMC_VAULT, DDR3_1600_CHANNEL])
+@pytest.mark.parametrize("window", [1, 4, 8])
+def test_vault_drain_matches_bank_fsm_reference(timing, window):
+    rng = np.random.default_rng(RNG_SEED + 4)
+    for _ in range(10):
+        reqs = random_requests(rng, timing, int(rng.integers(1, 600)))
+        vc = VaultController(timing, window=window)
+        got = vc.service(reqs)
+        finish, stats, _, _ = reference_service(timing, window, reqs)
+        assert got.finish_time == finish
+        assert got.stats == stats
+
+
+def test_vault_drain_cumulative_across_service_calls():
+    """Interleaved service calls on one controller must carry bank and
+    bus state across calls exactly like the scalar FSM."""
+    timing = HMC_VAULT
+    rng = np.random.default_rng(RNG_SEED + 5)
+    vc = VaultController(timing, window=8)
+    banks = None
+    bus = 0.0
+    for call in range(4):
+        reqs = random_requests(rng, timing, 200)
+        got = vc.service(reqs, start=call * 1e-6)
+        finish, stats, banks, bus = reference_service(
+            timing, 8, reqs, banks=banks, bus=bus, start=call * 1e-6)
+        assert got.finish_time == finish
+        assert got.stats == stats            # stats are cumulative
+    # the persisted per-bank state must match the reference FSM's
+    for b_new, b_ref in zip(vc.banks, banks):
+        assert b_new.open_row == b_ref.open_row
+        assert b_new._ready_act == b_ref._ready_act
+        assert b_new._ready_col == b_ref._ready_col
+        assert b_new._ready_pre == b_ref._ready_pre
+
+
+def test_service_arrays_accepts_numpy_columns():
+    timing = HMC_VAULT
+    rng = np.random.default_rng(RNG_SEED + 6)
+    reqs = random_requests(rng, timing, 300)
+    a = VaultController(timing).service(reqs)
+    b = VaultController(timing).service_arrays(
+        np.array([r[0] for r in reqs]), np.array([r[1] for r in reqs]),
+        np.array([r[2] for r in reqs]))
+    assert a.finish_time == b.finish_time
+    assert a.stats == b.stats
+
+
+# -- whole-device drain --------------------------------------------------------
+
+
+def reference_run_trace(device, requests):
+    """Scalar device drain: per-address decompose, per-unit reference
+    FR-FCFS drain, identical energy assembly."""
+    finish = 0.0
+    stats = BankStats()
+    per_unit = {}
+    for addr, is_write in requests:
+        unit, bank, row, _ = device.mapping.decompose(addr)
+        per_unit.setdefault(unit, []).append((bank, row, is_write))
+    for unit in range(device.units):
+        if unit not in per_unit:
+            continue
+        t, s, _, _ = reference_service(device.timing,
+                                       device.reorder_window,
+                                       per_unit[unit])
+        finish = max(finish, t)
+        stats.merge(s)
+    bytes_moved = len(requests) * device.request_bytes
+    dynamic = (stats.activates * device.energy.e_activate
+               + stats.accesses * device.energy.burst_energy(
+                   device.request_bytes))
+    total = dynamic + device.static_power() * finish
+    return finish, total, bytes_moved, stats
+
+
+def test_device_run_trace_matches_scalar_reference():
+    device = MemoryDevice(HMC_VAULT, HMC_ENERGY, units=8,
+                          interleave_bytes=256)
+    rng = np.random.default_rng(RNG_SEED + 7)
+    for _ in range(6):
+        n = int(rng.integers(1, 3000))
+        reqs = [(int(rng.integers(0, 1 << 30)) & ~31,
+                 bool(rng.integers(2))) for _ in range(n)]
+        got = device.run_trace(reqs)
+        finish, energy, bytes_moved, stats = reference_run_trace(
+            device, reqs)
+        assert got.time == finish
+        assert got.energy == energy
+        assert got.bytes_moved == bytes_moved
+        assert got.stats == stats
+
+
+def test_device_run_trace_empty():
+    device = MemoryDevice(HMC_VAULT, HMC_ENERGY, units=4,
+                          interleave_bytes=256)
+    got = device.run_trace([])
+    assert got.time == 0.0 and got.energy == 0.0
+    assert got.bytes_moved == 0

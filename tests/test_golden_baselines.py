@@ -14,7 +14,11 @@ stream). A fourth pins the *thermal-on* path: every op heating the
 per-vault RC network under a tight power envelope, with throttle
 pricing and Arrhenius-thinned deposits both deterministic. The
 thermal-off sections are computed exactly as in schema v3 — the
-thermal subsystem must never perturb them. Any PR that drifts any
+thermal subsystem must never perturb them. Every section additionally
+reruns with the descriptor-keyed schedule cache armed
+(``schedule_cache=True``) and must stay byte-identical to the very
+same golden entries — cached replay is an optimization of the
+simulation, never a different model. Any PR that drifts any
 model must regenerate the baselines on purpose:
 
     PYTHONPATH=src python tests/test_golden_baselines.py
@@ -78,9 +82,9 @@ def _execute_op(system: MealibSystem, op: str, scale: float):
     return system.runtime.acc_execute(plan, functional=False)
 
 
-def run_workload(op: str, scale: float):
+def run_workload(op: str, scale: float, cache: bool = False):
     """One op at one scale on a fresh, fault-free system."""
-    system = MealibSystem(stack_bytes=64 << 20)
+    system = MealibSystem(stack_bytes=64 << 20, schedule_cache=cache)
     result = _execute_op(system, op, scale)
     for category in RESILIENCE_CATEGORIES:
         total = system.ledger.total(category)
@@ -94,10 +98,11 @@ def run_workload(op: str, scale: float):
             "ledger": ledger}
 
 
-def run_degraded(op: str, mode: str):
+def run_degraded(op: str, mode: str, cache: bool = False):
     """One op on a system with a single seeded hardware fault."""
     system = MealibSystem(stack_bytes=64 << 20,
-                          faults=FaultInjector(seed=FAULT_SEED))
+                          faults=FaultInjector(seed=FAULT_SEED),
+                          schedule_cache=cache)
     if mode == "dead-tile":
         system.layer.mark_tile_failed(0)
     elif mode == "failed-link":
@@ -118,7 +123,7 @@ def run_degraded(op: str, mode: str):
             "fallback": [fallback.time, fallback.energy]}
 
 
-def run_scrubbed(op: str):
+def run_scrubbed(op: str, cache: bool = False):
     """One op under seeded latent upsets with patrol scrubbing armed.
 
     Every layer of the new machinery runs: deposits land each execute
@@ -129,7 +134,8 @@ def run_scrubbed(op: str):
     """
     faults = FaultInjector(seed=FAULT_SEED, latent_flip_rate=SCRUB_RATE)
     system = MealibSystem(stack_bytes=64 << 20, faults=faults,
-                          scrub=ScrubConfig(interval=SCRUB_INTERVAL))
+                          scrub=ScrubConfig(interval=SCRUB_INTERVAL),
+                          schedule_cache=cache)
     time = energy = 0.0
     for _ in range(SCRUB_EXECUTES):
         result = _execute_op(system, op, DEGRADED_SCALE)
@@ -148,7 +154,7 @@ def run_scrubbed(op: str):
             "deposited": faults.stats.latent_flips_deposited}
 
 
-def run_thermal(op: str):
+def run_thermal(op: str, cache: bool = False):
     """One op heating the RC network under a tight power envelope.
 
     Every thermal layer runs deterministically: the per-pass joule
@@ -161,7 +167,8 @@ def run_thermal(op: str):
     faults = FaultInjector(seed=FAULT_SEED, latent_flip_rate=THERMAL_RATE)
     system = MealibSystem(
         stack_bytes=64 << 20, faults=faults,
-        thermal=ThermalConfig(envelope=AMBIENT_K + THERMAL_MARGIN))
+        thermal=ThermalConfig(envelope=AMBIENT_K + THERMAL_MARGIN),
+        schedule_cache=cache)
     time = energy = 0.0
     for _ in range(THERMAL_EXECUTES):
         result = _execute_op(system, op, DEGRADED_SCALE)
@@ -332,6 +339,54 @@ def test_throttle_never_reprices_the_nominal_share(op):
                                      rel=1e-12)
     assert hot_energy == pytest.approx(clean_energy + throttle.energy,
                                        rel=1e-12)
+
+
+# -- the full v4 matrix again, with the schedule cache armed ------------------
+#
+# The cache must be joule-exact and bit-identical: every section of the
+# golden file is recomputed on a cache-enabled system and compared to
+# the *same* recorded entries the cache-off tests above pin. The
+# scrubbed/thermal sections repeat each descriptor four times, so they
+# really exercise replay-under-invalidation (deposits, governor state
+# changes and patrol repairs all bump epochs mid-matrix).
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("op", OPS)
+def test_fault_free_cache_on_matches_golden_exactly(golden, op, scale):
+    recorded = golden["workloads"][f"{op}@{scale}"]
+    fresh = run_workload(op, scale, cache=True)
+    assert fresh == recorded, (
+        f"{op}@{scale} drifted with schedule cache on: {fresh!r} != "
+        f"{recorded!r}")
+
+
+@pytest.mark.parametrize("mode", DEGRADED_MODES)
+@pytest.mark.parametrize("op", OPS)
+def test_degraded_cache_on_matches_golden_exactly(golden, op, mode):
+    recorded = golden["degraded"][f"{op}@{mode}"]
+    fresh = run_degraded(op, mode, cache=True)
+    assert fresh == recorded, (
+        f"{op}@{mode} drifted with schedule cache on: {fresh!r} != "
+        f"{recorded!r}")
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_scrubbed_cache_on_matches_golden_exactly(golden, op):
+    recorded = golden["scrubbed"][op]
+    fresh = run_scrubbed(op, cache=True)
+    assert fresh == recorded, (
+        f"{op} scrub-on drifted with schedule cache on: {fresh!r} != "
+        f"{recorded!r}")
+
+
+@pytest.mark.parametrize("op", OPS)
+def test_thermal_cache_on_matches_golden_exactly(golden, op):
+    recorded = golden["thermal"][op]
+    fresh = run_thermal(op, cache=True)
+    assert fresh == recorded, (
+        f"{op} thermal-on drifted with schedule cache on: {fresh!r} != "
+        f"{recorded!r}")
 
 
 @pytest.mark.parametrize("op", OPS)
