@@ -1,0 +1,17 @@
+/* A correlation sweep: every iteration of the OpenMP nest deposits
+ * its dot product into the one shared *_sub result scalar. The host
+ * version races benignly on `acc`; the offload is still faithful
+ * because the LOOP descriptor serialises iterations, so the analyzer
+ * reports MEA010 at INFO severity, keeps the step offloaded, and
+ * attaches a safety certificate with a recognized-reduction fact. */
+#define M 24
+#define N 64
+float hist[M][N];
+float w[N];
+float acc[1];
+int i;
+
+#pragma omp parallel for
+for (i = 0; i < M; i++) {
+  cblas_sdot_sub(N, &hist[i][0], 1, &w[0], 1, &acc[0]);
+}

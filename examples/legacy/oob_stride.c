@@ -1,0 +1,16 @@
+/* Seeded static out-of-bounds: each iteration's saxpy consumes a
+ * 16-float window advancing by 16 floats, but only 100 floats were
+ * declared — iterations 7 and 6 provably touch bytes past the end of
+ * `src` and `out` (byte 511 of a 400-byte allocation). The value-range
+ * analysis derives i in [0, 7], the footprint check proves the
+ * violation at the iteration-box corner, and the analyzer must reject
+ * the program with MEA015 and exit nonzero. */
+#define N 16
+#define CHUNKS 8
+float src[100];
+float out[100];
+int i;
+
+for (i = 0; i < CHUNKS; i++) {
+  cblas_saxpy(N, 1.0, &src[i * 16], 1, &out[i * 16], 1);
+}

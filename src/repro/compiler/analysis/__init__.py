@@ -8,28 +8,49 @@ accelerators. The pipeline is::
               escapes) consumed at call sites — never re-analysed
           ──► CFG (basic blocks, loop nests)
           ──► dataflow (reaching lifecycle events, buffer liveness)
-          ──► alias / overlap analysis over call arguments
+          ──► value-range analysis (interval lattice with widening at
+              loop headers, narrowing on branch conditions)
+          ──► symbolic affine dependence tester (constant-distance,
+              mixed-radix, interval-bounds, GCD, Banerjee) with
+              bounded enumeration only as a flagged fallback
           ──► loop-carried-dependence + OpenMP race detection
-          ──► rule engine ──► Diagnostics (MEA001..MEA012)
+          ──► static footprint bounds (provable / possible OOB)
+          ──► rule engine ──► Diagnostics (MEA001..MEA017)
+          ──► rewrite-safety certificates for every offloaded step
 
 ``error`` findings on accelerated call sites demote the call to host
 execution (``HostCallStep``) instead of producing a wrong offload;
 lifecycle errors (use-after-free, double-free, ... — including their
-interprocedural form MEA012) reject the program.
+interprocedural form MEA012) and provable out-of-bounds footprints
+(MEA015) reject the program. MEA016 (possible OOB) is the one warning
+that demotes.
 """
 
 from repro.compiler.analysis.alias import (FieldAccess, READ_FIELDS,
-                                           WRITE_FIELDS, step_accesses)
+                                           WRITE_FIELDS, cross_iteration,
+                                           same_iteration, step_accesses,
+                                           step_ranges)
 from repro.compiler.analysis.callgraph import (MAIN, CallGraph,
                                                build_call_graph)
+from repro.compiler.analysis.certificates import (CertFact,
+                                                  SafetyCertificate,
+                                                  certify_schedule,
+                                                  certify_step)
 from repro.compiler.analysis.cfg import BasicBlock, Cfg, build_cfg
 from repro.compiler.analysis.dataflow import (LifecycleFacts, Liveness,
                                               solve_backward,
                                               solve_forward)
+from repro.compiler.analysis.deptest import (DepVerdict,
+                                             cross_iteration_verdict,
+                                             same_iteration_verdict)
 from repro.compiler.analysis.events import BufferEvent, stmt_events
 from repro.compiler.analysis.races import classify_races
+from repro.compiler.analysis.ranges import (Interval, ValueRanges,
+                                            affine_interval)
 from repro.compiler.analysis.rules import (AnalysisResult, DEMOTE_CODES,
-                                           REJECT_CODES, analyze_source,
+                                           REJECT_CODES,
+                                           WARN_DEMOTE_CODES,
+                                           analyze_source,
                                            apply_demotions,
                                            check_program)
 from repro.compiler.analysis.summaries import (FunctionSummary,
@@ -41,10 +62,16 @@ from repro.compiler.diagnostics import (Diagnostic, DiagnosticReport,
 
 __all__ = [
     "FieldAccess", "READ_FIELDS", "WRITE_FIELDS", "step_accesses",
+    "step_ranges", "same_iteration", "cross_iteration",
     "MAIN", "CallGraph", "build_call_graph",
+    "CertFact", "SafetyCertificate", "certify_schedule", "certify_step",
     "BasicBlock", "Cfg", "build_cfg", "LifecycleFacts", "Liveness",
-    "solve_backward", "solve_forward", "BufferEvent", "stmt_events",
-    "classify_races", "AnalysisResult", "DEMOTE_CODES", "REJECT_CODES",
+    "solve_backward", "solve_forward",
+    "DepVerdict", "same_iteration_verdict", "cross_iteration_verdict",
+    "BufferEvent", "stmt_events",
+    "classify_races", "Interval", "ValueRanges", "affine_interval",
+    "AnalysisResult", "DEMOTE_CODES", "REJECT_CODES",
+    "WARN_DEMOTE_CODES",
     "analyze_source", "apply_demotions", "check_program",
     "FunctionSummary", "IntervalEffect", "SummaryEvent",
     "compute_summaries", "Diagnostic", "DiagnosticReport", "Severity",

@@ -11,21 +11,24 @@ extent)`` and answers two questions:
   written interval touch an interval of the same buffer (loop-carried
   dependence, MEA005)?
 
-Disjointness across iterations is proved with a mixed-radix argument:
-sort the loop variables by |stride|; if each stride covers the whole
-span accumulated so far, distinct iteration vectors map to disjoint
-intervals. When the proof does not apply, small iteration spaces are
-enumerated exactly; otherwise the answer is ``unknown`` and the caller
-must be conservative.
+The actual proving lives in :mod:`repro.compiler.analysis.deptest`:
+symbolic tests (constant distance, mixed-radix, value-range bounds,
+GCD lattices, Banerjee direction vectors) run first and bounded
+enumeration is only a flagged fallback. This module supplies the
+footprints (field -> buffer, affine offset, byte extent) and the
+per-step variable ranges the tester consumes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.compiler.affine import Affine
+from repro.compiler.analysis.deptest import (DepVerdict,
+                                             cross_iteration_verdict,
+                                             same_iteration_verdict)
+from repro.compiler.analysis.ranges import TOP, Interval, ValueRanges
 from repro.compiler.semantics import CompileEnv
 
 #: Address fields each accelerator writes / reads.
@@ -53,10 +56,6 @@ READ_FIELDS = {
 #: in-place transposes (mkl_simatcopy) and FFTW supports in-place
 #: plans. Everything else reading and writing the same bytes is UB.
 INPLACE_EXACT_OK = {"RESHP", "FFT"}
-
-#: Enumeration budgets before falling back to interval bounds.
-_MAX_POINTS = 4096          # full iteration-space sweeps
-_MAX_DELTAS = 30000         # iteration-difference sweeps
 
 
 @dataclass(frozen=True)
@@ -143,44 +142,54 @@ def step_accesses(step, env: CompileEnv) -> List[FieldAccess]:
     return out
 
 
-# -- interval machinery ------------------------------------------------------
+def step_ranges(step, vranges: Optional[ValueRanges] = None
+                ) -> Tuple[Dict[str, Interval], Dict[str, Interval]]:
+    """(loop ranges, invariant ranges) for one accelerated step.
 
-def _intervals_overlap(a_start: int, a_len: int,
-                       b_start: int, b_len: int) -> bool:
-    if a_len <= 0 or b_len <= 0:
-        return False
-    return a_start < b_start + b_len and b_start < a_start + a_len
-
-
-def _affine_range(aff: Affine,
-                  trips_by_var: Dict[str, int]
-                  ) -> Optional[Tuple[int, int]]:
-    """Min/max of the affine over the iteration box (None if unbound)."""
-    lo = hi = aff.const
-    for var, coef in aff.coefs.items():
-        if not coef:
-            continue
-        if var not in trips_by_var:
-            return None
-        span = coef * (trips_by_var[var] - 1)
-        if span > 0:
-            hi += span
-        else:
-            lo += span
-    return lo, hi
+    Loop variables of the collapsed nest get their exact iteration box
+    ``[0, trips-1]``; every other symbol appearing in an address
+    expression is iteration-invariant and takes its CFG-derived global
+    range (unbounded when no :class:`ValueRanges` is supplied or the
+    dataflow could not bound it).
+    """
+    loop_ranges: Dict[str, Interval] = {
+        v: Interval.bounded(0, t - 1)
+        for v, t in zip(step.loop_vars, step.trips)}
+    invariant: Dict[str, Interval] = {}
+    for _, (_, offset) in step.proto.addrs.items():
+        for var, coef in offset.coefs.items():
+            if coef and var not in loop_ranges \
+                    and var not in invariant:
+                invariant[var] = (vranges.global_range(var)
+                                  if vranges is not None else TOP)
+    return loop_ranges, invariant
 
 
-def _iteration_points(trips_by_var: Dict[str, int]):
-    names = list(trips_by_var)
-    for values in product(*(range(trips_by_var[v]) for v in names)):
-        yield dict(zip(names, values))
+# -- verdict adapters ---------------------------------------------------------
+
+def same_iteration(a: FieldAccess, b: FieldAccess,
+                   loop_ranges: Dict[str, Interval],
+                   invariant: Optional[Dict[str, Interval]] = None
+                   ) -> DepVerdict:
+    """Full verdict for two fields within one invocation."""
+    ranges = {**(invariant or {}), **loop_ranges}
+    return same_iteration_verdict(a.offset, a.extent,
+                                  b.offset, b.extent, ranges)
 
 
-def _space_size(trips_by_var: Dict[str, int]) -> int:
-    total = 1
-    for t in trips_by_var.values():
-        total *= t
-    return total
+def cross_iteration(w: FieldAccess, f: FieldAccess,
+                    loop_ranges: Dict[str, Interval],
+                    invariant: Optional[Dict[str, Interval]] = None
+                    ) -> DepVerdict:
+    """Full verdict for ``w`` vs ``f`` across distinct iterations."""
+    return cross_iteration_verdict(w.offset, w.extent,
+                                   f.offset, f.extent,
+                                   loop_ranges, invariant or {})
+
+
+def _trip_ranges(trips_by_var: Dict[str, int]) -> Dict[str, Interval]:
+    return {v: Interval.bounded(0, t - 1)
+            for v, t in trips_by_var.items()}
 
 
 def same_iteration_relation(a: FieldAccess, b: FieldAccess,
@@ -190,51 +199,7 @@ def same_iteration_relation(a: FieldAccess, b: FieldAccess,
     Returns ``"disjoint"``, ``"exact"`` (identical interval),
     ``"overlap"``, or ``"unknown"``.
     """
-    diff = b.offset.sub(a.offset)
-    if diff.is_constant:
-        d = diff.const
-        if d == 0 and a.extent == b.extent:
-            return "exact"
-        return ("overlap" if _intervals_overlap(0, a.extent, d,
-                                                b.extent)
-                else "disjoint")
-    if _space_size(trips_by_var) <= _MAX_POINTS:
-        for point in _iteration_points(trips_by_var):
-            if _intervals_overlap(a.offset.evaluate(point), a.extent,
-                                  b.offset.evaluate(point), b.extent):
-                return "overlap"
-        return "disjoint"
-    ra = _affine_range(a.offset, trips_by_var)
-    rb = _affine_range(b.offset, trips_by_var)
-    if ra is not None and rb is not None and not _intervals_overlap(
-            ra[0], ra[1] - ra[0] + a.extent,
-            rb[0], rb[1] - rb[0] + b.extent):
-        return "disjoint"
-    return "unknown"
-
-
-def _mixed_radix_disjoint(offset: Affine, extent: int,
-                          trips_by_var: Dict[str, int]
-                          ) -> Optional[bool]:
-    """Mixed-radix proof that distinct iterations yield disjoint
-    intervals. True = proven disjoint, False = proven overlapping,
-    None = the argument does not apply."""
-    if extent <= 0:
-        return True
-    active = []
-    for var, trip in trips_by_var.items():
-        if trip <= 1:
-            continue
-        coef = offset.coef(var)
-        if coef == 0:
-            return False          # two iterations share the interval
-        active.append((abs(coef), trip))
-    span = extent
-    for coef, trip in sorted(active):
-        if coef < span:
-            return None           # strides interleave; proof fails
-        span = coef * (trip - 1) + span
-    return True
+    return same_iteration(a, b, _trip_ranges(trips_by_var)).relation
 
 
 def cross_iteration_overlap(w: FieldAccess, f: FieldAccess,
@@ -244,50 +209,4 @@ def cross_iteration_overlap(w: FieldAccess, f: FieldAccess,
     Returns ``"disjoint"``, ``"overlap"``, or ``"unknown"``. Callers
     must treat ``unknown`` conservatively (assume a dependence).
     """
-    if not trips_by_var or _space_size(trips_by_var) <= 1:
-        return "disjoint"
-    diff = f.offset.sub(w.offset)
-    if diff.is_constant and diff.const == 0 and w.extent == f.extent:
-        proved = _mixed_radix_disjoint(w.offset, w.extent,
-                                       trips_by_var)
-        if proved is not None:
-            return "disjoint" if proved else "overlap"
-    if diff.is_constant:
-        # common stride vector: scan iteration differences
-        names = [v for v, t in trips_by_var.items() if t > 1]
-        size = 1
-        for v in names:
-            size *= 2 * trips_by_var[v] - 1
-        if size <= _MAX_DELTAS:
-            coefs = [w.offset.coef(v) for v in names]
-            d = diff.const
-            for deltas in product(*(
-                    range(-(trips_by_var[v] - 1), trips_by_var[v])
-                    for v in names)):
-                if not any(deltas):
-                    continue
-                shift = d + sum(c * dv for c, dv in zip(coefs,
-                                                        deltas))
-                if _intervals_overlap(0, w.extent, shift, f.extent):
-                    return "overlap"
-            return "disjoint"
-    total = _space_size(trips_by_var)
-    if total * total <= _MAX_POINTS:
-        points = list(_iteration_points(trips_by_var))
-        for i, pi in enumerate(points):
-            wi = w.offset.evaluate(pi)
-            for j, pj in enumerate(points):
-                if i == j:
-                    continue
-                if _intervals_overlap(wi, w.extent,
-                                      f.offset.evaluate(pj),
-                                      f.extent):
-                    return "overlap"
-        return "disjoint"
-    rw = _affine_range(w.offset, trips_by_var)
-    rf = _affine_range(f.offset, trips_by_var)
-    if rw is not None and rf is not None and not _intervals_overlap(
-            rw[0], rw[1] - rw[0] + w.extent,
-            rf[0], rf[1] - rf[0] + f.extent):
-        return "disjoint"
-    return "unknown"
+    return cross_iteration(w, f, _trip_ranges(trips_by_var)).relation

@@ -1,0 +1,424 @@
+"""Parametric affine dependence testing over the byte-offset model.
+
+Every question the alias and race rules ask reduces to: can the affine
+distance ``d = f_offset - w_offset`` land inside an *overlap window*
+``W = [-(ef - 1), ew - 1]`` for some admissible assignment of the loop
+and symbolic variables? This module answers it with a tower of sound
+symbolic provers, falling back to the original bounded enumeration
+only when the symbolic tower is inconclusive:
+
+1. **constant-distance** — after substituting point-range variables,
+   ``d`` is a known constant: the answer is exact.
+2. **mixed-radix** — for a footprint against itself across iterations,
+   the classic sorted-stride coverage argument (kept from the original
+   prover; it is also the only symbolic test that can *prove* an
+   overlap).
+3. **interval-bounds** — value-range propagation: if the derived
+   interval of ``d`` misses ``W`` entirely, the accesses are disjoint.
+4. **gcd** — ``d`` is confined to the lattice ``anchor + g*Z`` with
+   ``g = gcd`` of the live coefficients; if no lattice point falls in
+   the feasible window, the accesses are disjoint.
+5. **banerjee** — per direction vector (``<``, ``=``, ``>`` for each
+   loop variable, the all-``=`` vector excluded for cross-iteration
+   queries), exact min/max of ``d`` via vertex enumeration of the
+   triangular ``v < v'`` regions, each direction additionally filtered
+   by its own gcd lattice; all directions infeasible proves
+   independence.
+6. **enumeration** — the pre-existing bounded sweeps (identical
+   budgets), flagged as a *fallback* so the rule engine can surface
+   that the symbolic provers gave up (MEA017).
+
+Provers 1-5 only ever *prove* facts (they never guess), so running
+them before enumeration reproduces every verdict the old enumeration
+produced, with strictly fewer ``unknown`` answers. Loop variables
+range over the iteration box; other symbols (runtime scalars) are
+*iteration-invariant*: they take the same unknown value on both sides
+of a cross-iteration query, so equal coefficients cancel exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.compiler.affine import Affine
+from repro.compiler.analysis.ranges import (TOP, Interval,
+                                            affine_interval)
+
+#: Enumeration budgets — identical to the historical alias.py sweeps.
+_MAX_POINTS = 4096          # full iteration-space pair sweeps
+_MAX_DELTAS = 30000         # iteration-difference sweeps
+#: Direction-vector cap: 3^k combinations for k participating vars.
+_MAX_DIR_VARS = 8
+
+
+@dataclass(frozen=True)
+class DepVerdict:
+    """Outcome of one dependence query.
+
+    ``relation`` is ``disjoint`` / ``exact`` / ``overlap`` /
+    ``unknown``; ``prover`` names the test that decided (``none`` when
+    nothing did); ``fallback`` is True when the symbolic tower was
+    inconclusive and enumeration (or nothing) had to decide — the
+    rule engine reports those as MEA017.
+    """
+
+    relation: str
+    prover: str
+    fallback: bool = False
+
+    @property
+    def decided(self) -> bool:
+        return self.relation != "unknown"
+
+
+def _substitute_points(aff: Affine,
+                       ranges: Mapping[str, Interval]) -> Affine:
+    """Fold variables pinned to a single known value into the constant."""
+    const = aff.const
+    coefs: Dict[str, int] = {}
+    for var, coef in aff.coefs.items():
+        if not coef:
+            continue
+        r = ranges.get(var, TOP)
+        if r.is_point and r.lo is not None:
+            const += coef * r.lo
+        else:
+            coefs[var] = coef
+    return Affine(const=const, coefs=coefs)
+
+
+def _residue_hits(lo: Optional[int], hi: Optional[int],
+                  anchor: int, g: int) -> bool:
+    """Does [lo, hi] contain an integer congruent to anchor mod g?
+
+    ``g == 0`` means the value is exactly ``anchor``; ``None`` bounds
+    are infinite.
+    """
+    if lo is not None and hi is not None and lo > hi:
+        return False
+    if g == 0:
+        return ((lo is None or anchor >= lo)
+                and (hi is None or anchor <= hi))
+    if lo is None or hi is None:
+        return True
+    first = lo + ((anchor - lo) % g)
+    return first <= hi
+
+
+# -- same-iteration queries ---------------------------------------------------
+
+def same_iteration_verdict(a_off: Affine, a_ext: int,
+                           b_off: Affine, b_ext: int,
+                           ranges: Mapping[str, Interval],
+                           allow_enumeration: bool = True
+                           ) -> DepVerdict:
+    """Can intervals ``[a, a+ea)`` and ``[b, b+eb)`` overlap at one
+    iteration point? ``exact`` means provably the identical interval.
+    """
+    if a_ext <= 0 or b_ext <= 0:
+        return DepVerdict("disjoint", "trivial")
+    window = Interval(-(b_ext - 1), a_ext - 1)
+    d = _substitute_points(b_off.sub(a_off), ranges)
+    if d.is_constant:
+        if d.const == 0 and a_ext == b_ext:
+            return DepVerdict("exact", "constant-distance")
+        rel = "overlap" if window.contains(d.const) else "disjoint"
+        return DepVerdict(rel, "constant-distance")
+
+    span = affine_interval(d, ranges)
+    feasible = window.meet(span)
+    if feasible.is_empty:
+        return DepVerdict("disjoint", "interval-bounds")
+    g = 0
+    for coef in d.coefs.values():
+        g = math.gcd(g, abs(coef))
+    if not _residue_hits(feasible.lo, feasible.hi, d.const, g):
+        return DepVerdict("disjoint", "gcd")
+
+    if allow_enumeration:
+        swept = _sweep_affine(d, ranges, window)
+        if swept is not None:
+            return DepVerdict(swept, "enumeration", fallback=True)
+    return DepVerdict("unknown", "none", fallback=True)
+
+
+def _sweep_affine(d: Affine, ranges: Mapping[str, Interval],
+                  window: Interval) -> Optional[str]:
+    """Exact bounded sweep of a single affine against a window."""
+    live = [(v, c) for v, c in d.coefs.items() if c]
+    rs = [ranges.get(v, TOP) for v, _ in live]
+    if not all(r.is_bounded for r in rs):
+        return None
+    size = 1
+    for r in rs:
+        size *= r.width() or 1
+    if size > _MAX_POINTS:
+        return None
+    assert all(r.lo is not None and r.hi is not None for r in rs)
+    for values in product(*(range(r.lo, r.hi + 1)  # type: ignore[arg-type, operator]
+                            for r in rs)):
+        total = d.const + sum(c * x
+                              for (_, c), x in zip(live, values))
+        if window.contains(total):
+            return "overlap"
+    return "disjoint"
+
+
+# -- cross-iteration queries --------------------------------------------------
+
+def _mixed_radix_disjoint(offset: Affine, extent: int,
+                          loop_ranges: Mapping[str, Interval]
+                          ) -> Optional[bool]:
+    """Mixed-radix proof that distinct iterations yield disjoint
+    intervals. True = proven disjoint, False = proven overlapping,
+    None = the argument does not apply."""
+    if extent <= 0:
+        return True
+    active: List[Tuple[int, int]] = []
+    for var, r in loop_ranges.items():
+        width = r.width()
+        if width is not None and width <= 1:
+            continue
+        coef = offset.coef(var)
+        if coef == 0:
+            # two distinct iterations share the identical interval —
+            # but only provably so when the variable really varies
+            return False if width is not None else None
+        if width is None:
+            return None
+        active.append((abs(coef), width))
+    span = extent
+    for level, (coef, width) in enumerate(sorted(active)):
+        if coef < span:
+            if level == 0:
+                # two iterations one apart in the smallest-stride var
+                # sit |coef| < extent bytes apart: provable collision
+                return False
+            return None           # strides interleave; proof fails
+        span = coef * (width - 1) + span
+    return True
+
+
+def _lt_extremes(a: int, b: int, r: Interval) -> Interval:
+    """Interval of ``b*v' - a*v`` over ``lo <= v < v' <= hi``.
+
+    Exact for bounded ranges (linear objective over the lattice
+    triangle peaks at its three corner points); a conservative
+    independent-bounds superset otherwise.
+    """
+    if r.lo is None or r.hi is None:
+        return r.scale(b).add(r.scale(-a))
+    lo, hi = r.lo, r.hi
+    vals = [b * vp - a * v
+            for v, vp in ((lo, lo + 1), (lo, hi), (hi - 1, hi))]
+    return Interval(min(vals), max(vals))
+
+
+def _gt_extremes(a: int, b: int, r: Interval) -> Interval:
+    """Interval of ``b*v' - a*v`` over ``lo <= v' < v <= hi``."""
+    if r.lo is None or r.hi is None:
+        return r.scale(b).add(r.scale(-a))
+    lo, hi = r.lo, r.hi
+    vals = [b * vp - a * v
+            for v, vp in ((lo + 1, lo), (hi, lo), (hi, hi - 1))]
+    return Interval(min(vals), max(vals))
+
+
+def cross_iteration_verdict(w_off: Affine, w_ext: int,
+                            f_off: Affine, f_ext: int,
+                            loop_ranges: Mapping[str, Interval],
+                            invariant_ranges: Optional[
+                                Mapping[str, Interval]] = None,
+                            allow_enumeration: bool = True
+                            ) -> DepVerdict:
+    """Can ``w`` at one iteration touch ``f`` at a *different* one?
+
+    ``loop_ranges`` is the (ordered) iteration box; every other symbol
+    in the offsets is iteration-invariant and constrained only by
+    ``invariant_ranges`` (absent = unbounded).
+    """
+    inv = dict(invariant_ranges or {})
+    if w_ext <= 0 or f_ext <= 0:
+        return DepVerdict("disjoint", "trivial")
+    space: Optional[int] = 1
+    for r in loop_ranges.values():
+        width = r.width()
+        if width == 0:
+            return DepVerdict("disjoint", "trivial")
+        space = None if (space is None or width is None) \
+            else space * width
+    if space is not None and space <= 1:
+        return DepVerdict("disjoint", "trivial")
+
+    window = Interval(-(f_ext - 1), w_ext - 1)
+    all_ranges: Dict[str, Interval] = {**inv, **loop_ranges}
+    dd = _substitute_points(f_off.sub(w_off), all_ranges)
+    if dd.is_constant and dd.const == 0 and w_ext == f_ext:
+        proved = _mixed_radix_disjoint(w_off, w_ext, loop_ranges)
+        if proved is not None:
+            return DepVerdict("disjoint" if proved else "overlap",
+                              "mixed-radix")
+
+    for use_bounds, prover in ((False, "gcd"), (True, "banerjee")):
+        if _all_directions_infeasible(w_off, f_off, window,
+                                      loop_ranges, inv, use_bounds):
+            return DepVerdict("disjoint", prover)
+
+    if allow_enumeration:
+        swept = _cross_enumerate(w_off, f_off, window, loop_ranges,
+                                 all_ranges, dd)
+        if swept is not None:
+            return DepVerdict(swept, "enumeration", fallback=True)
+    return DepVerdict("unknown", "none", fallback=True)
+
+
+def _all_directions_infeasible(w_off: Affine, f_off: Affine,
+                               window: Interval,
+                               loop_ranges: Mapping[str, Interval],
+                               inv: Mapping[str, Interval],
+                               use_bounds: bool) -> bool:
+    """Banerjee-style direction-vector test.
+
+    ``d = f(i') - w(i)`` decomposes per loop variable into ``<`` / ``=``
+    / ``>`` direction contributions; the all-``=`` vector is excluded
+    (that is the same-iteration case) unless distinctness can come from
+    a variable neither offset depends on. True means *no* direction
+    vector can put ``d`` inside the window — the accesses are provably
+    independent across iterations.
+    """
+    anchor = f_off.const - w_off.const
+    base_g = 0
+    base_span = Interval.point(0)
+    relevant: List[Tuple[int, int, Interval]] = []
+    free_distinct = False
+    for var, r in loop_ranges.items():
+        a, b = w_off.coef(var), f_off.coef(var)
+        width = r.width()
+        if a == 0 and b == 0:
+            if width is None or width >= 2:
+                free_distinct = True
+            continue
+        if width == 1:
+            assert r.lo is not None
+            anchor += (b - a) * r.lo
+            continue
+        relevant.append((a, b, r))
+    for var in dict.fromkeys(list(w_off.coefs) + list(f_off.coefs)):
+        if var in loop_ranges:
+            continue
+        delta = f_off.coef(var) - w_off.coef(var)
+        if delta == 0:
+            continue                # invariant symbol cancels exactly
+        r = inv.get(var, TOP)
+        if r.is_point and r.lo is not None:
+            anchor += delta * r.lo
+        else:
+            base_g = math.gcd(base_g, abs(delta))
+            base_span = base_span.add(r.scale(delta))
+    if len(relevant) > _MAX_DIR_VARS:
+        return False
+
+    for combo in product("<=>", repeat=len(relevant)):
+        if not free_distinct and all(c == "=" for c in combo):
+            continue
+        g = base_g
+        span = base_span
+        for (a, b, r), direction in zip(relevant, combo):
+            if direction == "=":
+                delta = b - a
+                g = math.gcd(g, abs(delta))
+                span = span.add(r.scale(delta))
+            else:
+                g = math.gcd(g, math.gcd(abs(a), abs(b)))
+                span = span.add(_lt_extremes(a, b, r)
+                                if direction == "<"
+                                else _gt_extremes(a, b, r))
+        feasible = window.meet(span.shift(anchor)) if use_bounds \
+            else window
+        if _residue_hits(feasible.lo, feasible.hi, anchor, g):
+            return False            # this direction might carry it
+    return True
+
+
+def _box_points(names: List[str], rs: List[Interval]
+                ) -> Iterator[Dict[str, int]]:
+    assert all(r.lo is not None and r.hi is not None for r in rs)
+    for values in product(*(range(r.lo, r.hi + 1)  # type: ignore[arg-type, operator]
+                            for r in rs)):
+        yield dict(zip(names, values))
+
+
+def _cross_enumerate(w_off: Affine, f_off: Affine, window: Interval,
+                     loop_ranges: Mapping[str, Interval],
+                     all_ranges: Mapping[str, Interval],
+                     dd: Affine) -> Optional[str]:
+    """The historical bounded sweeps, unchanged budgets.
+
+    Tries the iteration-difference scan first (valid when both offsets
+    share one stride vector), then the full pair sweep. Returns None
+    when neither fits its budget (or ranges are unbounded).
+    """
+    # (a) common stride vector: scan iteration differences
+    if dd.is_constant:
+        scan: List[Tuple[int, int]] = []        # (coef, width)
+        free_distinct = False
+        bounded = True
+        for var, r in loop_ranges.items():
+            width = r.width()
+            if width is not None and width <= 1:
+                continue
+            coef = w_off.coef(var)
+            if coef == 0:
+                free_distinct = True
+                continue
+            if width is None:
+                bounded = False
+                break
+            scan.append((coef, width))
+        if bounded:
+            size = 1
+            for _, width in scan:
+                size *= 2 * width - 1
+            if size <= _MAX_DELTAS:
+                for deltas in product(*(range(-(width - 1), width)
+                                        for _, width in scan)):
+                    if not any(deltas) and not free_distinct:
+                        continue
+                    shift = dd.const + sum(
+                        c * dv for (c, _), dv in zip(scan, deltas))
+                    if window.contains(shift):
+                        return "overlap"
+                return "disjoint"
+
+    # (b) full pair sweep over the iteration box
+    w_r = _substitute_points(w_off, all_ranges)
+    f_r = _substitute_points(f_off, all_ranges)
+    live = [v for v in loop_ranges
+            if w_r.coef(v) or f_r.coef(v)]
+    for aff in (w_r, f_r):
+        if any(v not in loop_ranges for v, c in aff.coefs.items()
+               if c):
+            return None             # unbounded invariant symbol left
+    rs = [loop_ranges[v] for v in live]
+    if not all(r.is_bounded for r in rs):
+        return None
+    size = 1
+    for r in rs:
+        size *= r.width() or 1
+    if size * size > _MAX_POINTS:
+        return None
+    free_distinct = any(
+        (r.width() or 2) >= 2 for v, r in loop_ranges.items()
+        if v not in live)
+    points = list(_box_points(live, rs))
+    for i, pi in enumerate(points):
+        wi = w_r.evaluate(pi)
+        for j, pj in enumerate(points):
+            if i == j and not free_distinct:
+                continue
+            if window.contains(f_r.evaluate(pj) - wi):
+                return "overlap"
+    return "disjoint"

@@ -7,30 +7,35 @@ raced in the first place, so each such step is classified as:
 
 * **iteration-disjoint** — every written byte interval of one
   iteration is disjoint from every interval another iteration touches
-  (proved with the mixed-radix argument or bounded enumeration from
-  :mod:`.alias`). Offloadable; no finding.
+  (proved by the symbolic dependence tower or bounded enumeration in
+  :mod:`.deptest`). Offloadable; no finding.
 * **recognized reduction** — all iterations accumulate into the
-  *same* interval through an associative update (AXPY's ``y += a*x``;
-  GEMV with ``beta == 1``). Offloadable with an INFO-severity MEA010
-  note: the LOOP descriptor serialises iterations on the accelerator,
-  so the reduction is safe there even though the host OpenMP version
-  races benignly on the accumulation order.
+  *same* interval through a recognized serialisable update (AXPY's
+  ``y += a*x``; GEMV with ``beta == 1``; the DOT family's ``*_sub``
+  result scalar, where every iteration deposits its partial into one
+  cell). Offloadable with an INFO-severity MEA010 note: the LOOP
+  descriptor serialises iterations on the accelerator, reproducing
+  the serial program's final value even though the host OpenMP
+  version races benignly on it.
 * **racy** — overlapping writes (MEA008) or a write overlapping
   another iteration's read (MEA009), or a shared output whose update
   is not a recognized reduction (MEA010 at ERROR severity). The step
   demotes to the host library, keeping the original semantics.
 
 ``unknown`` overlap answers classify as racy: offload must be proven
-safe, never assumed.
+safe, never assumed. When the verdict needed the enumeration fallback
+(or stayed unknown), an INFO-severity MEA017 names the prover that
+gave up so silent precision losses are visible in reports.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.compiler.analysis.alias import (FieldAccess,
-                                           cross_iteration_overlap,
-                                           step_accesses)
+from repro.compiler.analysis.alias import (FieldAccess, cross_iteration,
+                                           step_accesses, step_ranges)
+from repro.compiler.analysis.deptest import DepVerdict
+from repro.compiler.analysis.ranges import ValueRanges
 from repro.compiler.diagnostics import Diagnostic, Severity
 from repro.compiler.recognizer import AccelCallStep
 from repro.compiler.semantics import CompileEnv
@@ -39,9 +44,19 @@ from repro.compiler.semantics import CompileEnv
 #: shared output a *reduction* rather than a lost-update race.
 _REDUCTION_ACCELS = {"AXPY"}
 
+#: DOT-family accelerators: the ``cblas_sdot_sub`` / ``cblas_cdotc_sub``
+#: idiom deposits each iteration's partial result into one shared
+#: ``*_sub`` scalar. The LOOP descriptor serialises the deposits, so
+#: the offload reproduces the serial program's final value.
+_DOT_SUB_ACCELS = {"DOT"}
 
-def _is_reduction_update(step: AccelCallStep) -> bool:
+
+def is_recognized_reduction(step: AccelCallStep) -> bool:
+    """Is a shared-interval update of this step's write field a
+    reduction the LOOP descriptor can serialise faithfully?"""
     if step.accel in _REDUCTION_ACCELS:
+        return True
+    if step.accel in _DOT_SUB_ACCELS:
         return True
     if step.accel == "GEMV":
         # y = alpha*A*x + beta*y accumulates only when beta == 1
@@ -50,22 +65,38 @@ def _is_reduction_update(step: AccelCallStep) -> bool:
     return False
 
 
-def _shared_interval(access: FieldAccess,
-                     loop_vars: Tuple[str, ...]) -> bool:
+def shared_interval(access: FieldAccess,
+                    loop_vars: Tuple[str, ...]) -> bool:
     """True when every iteration touches the identical interval."""
     return all(access.offset.coef(v) == 0 for v in loop_vars)
 
 
+def fallback_note(verdict: DepVerdict, w: FieldAccess,
+                  other: FieldAccess) -> str:
+    """Message body of an MEA017 prover-fallback finding."""
+    pair = (w.field if w.field == other.field
+            else f"{w.field} vs {other.field}")
+    if verdict.prover == "enumeration":
+        return (f"symbolic dependence provers were inconclusive for "
+                f"{pair} on buffer {w.buffer!r}; bounded enumeration "
+                f"decided {verdict.relation!r}")
+    return (f"all dependence provers were inconclusive for {pair} on "
+            f"buffer {w.buffer!r} (symbolic ranges unbounded, "
+            "enumeration infeasible); assuming a dependence")
+
+
 def classify_races(step: AccelCallStep, step_index: int,
-                   env: CompileEnv) -> List[Diagnostic]:
+                   env: CompileEnv,
+                   vranges: Optional[ValueRanges] = None
+                   ) -> List[Diagnostic]:
     """Race findings for one omp-collapsed accelerated step.
 
     Returns an empty list for iteration-disjoint steps, a single INFO
     MEA010 for a recognized reduction, and ERROR findings (MEA008 /
-    MEA009 / MEA010) for everything racy.
+    MEA009 / MEA010) for everything racy. INFO MEA017 findings ride
+    along whenever a verdict needed the enumeration fallback.
     """
     findings: List[Diagnostic] = []
-    trips_by_var: Dict[str, int] = dict(zip(step.loop_vars, step.trips))
     if not step.looped:
         return findings
     space = 1
@@ -75,14 +106,29 @@ def classify_races(step: AccelCallStep, step_index: int,
         return findings
 
     accesses = step_accesses(step, env)
+    loop_ranges, invariant = step_ranges(step, vranges)
     writes = [a for a in accesses if a.writes]
 
     def emit(code: str, severity: Severity, message: str,
-             buffers: Tuple[str, ...]) -> None:
+             buffers: Tuple[str, ...], prover: str = "") -> None:
         findings.append(Diagnostic(
             code=code, severity=severity, message=message,
             loc=step.loc, buffers=buffers, step_index=step_index,
-            chain=step.chain))
+            chain=step.chain, prover=prover))
+
+    noted_fallbacks: Set[Tuple[str, str]] = set()
+
+    def note_fallback(verdict: DepVerdict, w: FieldAccess,
+                      other: FieldAccess) -> None:
+        if not verdict.fallback:
+            return
+        key = tuple(sorted({w.field, other.field}))
+        pair_key = (w.buffer, "/".join(key))
+        if pair_key in noted_fallbacks:
+            return
+        noted_fallbacks.add(pair_key)
+        emit("MEA017", Severity.INFO, fallback_note(verdict, w, other),
+             (w.buffer,), prover=verdict.prover)
 
     seen_pairs: set = set()
     for w in writes:
@@ -94,18 +140,19 @@ def classify_races(step: AccelCallStep, step_index: int,
             if pair in seen_pairs:
                 continue
             seen_pairs.add(pair)
-            rel = cross_iteration_overlap(w, other, trips_by_var)
-            if rel == "disjoint":
+            verdict = cross_iteration(w, other, loop_ranges, invariant)
+            note_fallback(verdict, w, other)
+            if verdict.relation == "disjoint":
                 continue
             shared = (w.field == other.field
-                      and _shared_interval(w, step.loop_vars))
-            if shared and _is_reduction_update(step):
+                      and shared_interval(w, step.loop_vars))
+            if shared and is_recognized_reduction(step):
                 emit("MEA010", Severity.INFO,
                      f"{step.accel} accumulates into the shared "
                      f"interval of buffer {w.buffer!r}: recognized "
                      "reduction; the LOOP descriptor serialises "
                      "iterations, so the offload is safe",
-                     (w.buffer,))
+                     (w.buffer,), prover=verdict.prover)
                 continue
             if shared:
                 emit("MEA010", Severity.ERROR,
@@ -113,26 +160,29 @@ def classify_races(step: AccelCallStep, step_index: int,
                      f"buffer {w.buffer!r} from every iteration and "
                      "the update is not a recognized reduction; "
                      "parallel iterations race on the final value",
-                     (w.buffer,))
+                     (w.buffer,), prover=verdict.prover)
                 continue
-            detail = ("overlap" if rel == "overlap"
+            detail = ("overlap" if verdict.relation == "overlap"
                       else "cannot be proven disjoint")
             emit("MEA008", Severity.ERROR,
                  f"{step.accel} writes to {w.field} on buffer "
                  f"{w.buffer!r} {detail} across parallel iterations "
-                 "(write-write race)", (w.buffer,))
+                 "(write-write race)", (w.buffer,),
+                 prover=verdict.prover)
         # -- write vs pure reads of other fields --------------------------
         for other in accesses:
             if other.writes or other.buffer != w.buffer \
                     or other.field == w.field:
                 continue
-            rel = cross_iteration_overlap(w, other, trips_by_var)
-            if rel == "disjoint":
+            verdict = cross_iteration(w, other, loop_ranges, invariant)
+            note_fallback(verdict, w, other)
+            if verdict.relation == "disjoint":
                 continue
-            detail = ("overlaps" if rel == "overlap"
+            detail = ("overlaps" if verdict.relation == "overlap"
                       else "cannot be proven disjoint from")
             emit("MEA009", Severity.ERROR,
                  f"{step.accel} write to {w.field} {detail} the "
                  f"{other.field} read of another iteration on buffer "
-                 f"{w.buffer!r} (read-write race)", (w.buffer,))
+                 f"{w.buffer!r} (read-write race)", (w.buffer,),
+                 prover=verdict.prover)
     return findings

@@ -1,0 +1,429 @@
+"""Integer value-range (interval) analysis over the CFG.
+
+The dependence tester and the static bounds checker both need to know,
+for every scalar that can appear in an affine address expression, the
+interval of values it can take. This module computes those intervals
+with a classic abstract-interpretation pass over the existing CFG:
+
+* the lattice is integer intervals with open ends (``None`` = ±inf);
+* loop headers apply **widening** after a fixed number of ascending
+  rounds so non-constant bounds still terminate, followed by a
+  **narrowing** (descending) phase that recovers precision;
+* edges out of a loop header **narrow on the branch condition**: the
+  body edge meets the loop variable with ``[start, bound-1]`` (the
+  ``var < bound`` guard holds), the exit edge with ``[bound, +inf)``
+  (the guard failed).
+
+For the canonical counted loops of this C subset the result is exact:
+inside the body the loop variable is ``[start, bound-1]``, after the
+loop it is ``[bound, bound]``. Variables the pass cannot bound (a
+runtime ``int`` with no constant initialiser) stay ``TOP`` — callers
+must treat their address expressions as possibly out of bounds
+(MEA016) and the dependence tester refuses to enumerate over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.compiler.affine import Affine, AffineError
+from repro.compiler.analysis.cfg import BasicBlock, Cfg
+from repro.compiler.cast import Expr, For, VarDecl
+from repro.compiler.semantics import CompileEnv, SemanticError
+
+#: Ascending rounds before widening kicks in at loop headers.
+_WIDEN_AFTER = 2
+#: Descending (narrowing) rounds after the widened fixpoint.
+_NARROW_ROUNDS = 2
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval; ``None`` bounds are infinite.
+
+    ``lo > hi`` (both finite) encodes the empty interval (an
+    infeasible edge).
+    """
+
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return (self.lo is not None and self.hi is not None
+                and self.lo > self.hi)
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.lo is not None and self.hi is not None \
+            and not self.is_empty
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def contains(self, value: int) -> bool:
+        if self.is_empty:
+            return False
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def width(self) -> Optional[int]:
+        """Number of integers covered (None if unbounded)."""
+        if self.is_empty:
+            return 0
+        if self.lo is None or self.hi is None:
+            return None
+        return self.hi - self.lo + 1
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Interval":
+        return TOP
+
+    @staticmethod
+    def point(value: int) -> "Interval":
+        return Interval(int(value), int(value))
+
+    @staticmethod
+    def bounded(lo: int, hi: int) -> "Interval":
+        return Interval(int(lo), int(hi))
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        lo = (None if self.lo is None or other.lo is None
+              else self.lo + other.lo)
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi + other.hi)
+        return Interval(lo, hi)
+
+    def shift(self, delta: int) -> "Interval":
+        if self.is_empty:
+            return EMPTY
+        return Interval(None if self.lo is None else self.lo + delta,
+                        None if self.hi is None else self.hi + delta)
+
+    def neg(self) -> "Interval":
+        if self.is_empty:
+            return EMPTY
+        return Interval(None if self.hi is None else -self.hi,
+                        None if self.lo is None else -self.lo)
+
+    def scale(self, factor: int) -> "Interval":
+        """Multiply by an integer constant."""
+        if self.is_empty:
+            return EMPTY
+        if factor == 0:
+            return Interval.point(0)
+        if factor < 0:
+            return self.neg().scale(-factor)
+        return Interval(None if self.lo is None else self.lo * factor,
+                        None if self.hi is None else self.hi * factor)
+
+    # -- lattice -------------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        lo = (None if self.lo is None or other.lo is None
+              else min(self.lo, other.lo))
+        hi = (None if self.hi is None or other.hi is None
+              else max(self.hi, other.hi))
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if self.lo is None:
+            lo = other.lo
+        elif other.lo is None:
+            lo = self.lo
+        else:
+            lo = max(self.lo, other.lo)
+        if self.hi is None:
+            hi = other.hi
+        elif other.hi is None:
+            hi = self.hi
+        else:
+            hi = min(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: escaping bounds jump to ±inf."""
+        if self.is_empty:
+            return newer
+        if newer.is_empty:
+            return self
+        lo = self.lo if (self.lo is not None and newer.lo is not None
+                         and newer.lo >= self.lo) else None
+        hi = self.hi if (self.hi is not None and newer.hi is not None
+                         and newer.hi <= self.hi) else None
+        return Interval(lo, hi)
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "[empty]"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+TOP = Interval(None, None)
+EMPTY = Interval(0, -1)
+
+#: An abstract store: variables absent from the mapping are TOP.
+State = Dict[str, Interval]
+
+
+def affine_interval(aff: Affine,
+                    ranges: Mapping[str, Interval]) -> Interval:
+    """Interval of an affine expression under per-variable ranges."""
+    total = Interval.point(aff.const)
+    for var, coef in aff.coefs.items():
+        if not coef:
+            continue
+        r = ranges.get(var, TOP)
+        total = total.add(r.scale(coef))
+        if total.is_empty:
+            return EMPTY
+    return total
+
+
+def ranges_from_trips(trips_by_var: Mapping[str, int]) -> Dict[str, Interval]:
+    """The iteration box of a collapsed loop nest: each var in [0, T-1]."""
+    return {v: Interval.bounded(0, t - 1)
+            for v, t in trips_by_var.items()}
+
+
+class ValueRanges:
+    """Per-block variable ranges derived by forward interval dataflow.
+
+    ``block_in[bid]`` holds the abstract store at block entry after the
+    widening + narrowing fixpoint. ``global_range(var)`` is the join of
+    the variable's range over every reachable block — the conservative
+    answer for program points the caller cannot place (inlined loop
+    bodies, collapsed steps).
+    """
+
+    def __init__(self, cfg: Cfg, env: CompileEnv):
+        self.cfg = cfg
+        self.env = env
+        self.block_in: Dict[int, State] = {}
+        self._solve()
+
+    # -- queries -------------------------------------------------------------
+
+    def at_entry(self, bid: int) -> State:
+        return dict(self.block_in.get(bid, {}))
+
+    def var_at(self, bid: int, var: str) -> Interval:
+        return self.block_in.get(bid, {}).get(var, TOP)
+
+    def global_range(self, var: str) -> Interval:
+        if var in self.env.constants:
+            return Interval.point(self.env.constants[var])
+        out: Optional[Interval] = None
+        for state in self.block_in.values():
+            r = state.get(var, TOP)
+            out = r if out is None else out.join(r)
+            if out == TOP:
+                return TOP
+        return TOP if out is None else out
+
+    def trip_interval(self, header_bid: int) -> Interval:
+        """Derived trip-count interval of the loop at ``header_bid``."""
+        blk = self.cfg.block(header_bid)
+        if blk.kind != "header" or blk.loop is None:
+            raise ValueError(f"block {header_bid} is not a loop header")
+        state = self.block_in.get(header_bid, {})
+        bound = self._expr_interval(blk.loop.bound, state)
+        start = self._expr_interval(blk.loop.start, state)
+        trips = bound.add(start.neg())
+        # a canonical counted loop runs at least zero iterations
+        return trips.meet(Interval(0, None))
+
+    # -- the solver ----------------------------------------------------------
+
+    def _expr_interval(self, expr: Expr, state: State) -> Interval:
+        try:
+            aff = self.env.affine_expr(expr)
+        except (AffineError, SemanticError):
+            return TOP
+        return affine_interval(aff, state)
+
+    def _transfer(self, blk: BasicBlock, state: State) -> State:
+        out = dict(state)
+        for stmt in blk.stmts:
+            if isinstance(stmt, VarDecl) and not stmt.pointer \
+                    and not stmt.dims \
+                    and stmt.ctype in ("int", "long", "size_t"):
+                if stmt.name in self.env.constants:
+                    out[stmt.name] = Interval.point(
+                        self.env.constants[stmt.name])
+                elif stmt.init is not None:
+                    out[stmt.name] = self._expr_interval(stmt.init, out)
+                else:
+                    out[stmt.name] = TOP
+        return out
+
+    def _is_back_edge(self, pred: BasicBlock, header: BasicBlock) -> bool:
+        loop = header.loop
+        return loop is not None and loop.var in pred.loop_vars
+
+    def _edge_state(self, pred: BasicBlock, dst: BasicBlock,
+                    out_state: State) -> Optional[State]:
+        """Abstract store flowing along one CFG edge (None = infeasible).
+
+        This is where branch-condition narrowing lives: the loop guard
+        ``var < bound`` holds on the header->body edge and fails on the
+        header->exit edge.
+        """
+        state = dict(out_state)
+        if pred.kind == "header" and pred.loop is not None:
+            loop = pred.loop
+            var = loop.var
+            bound = self._expr_interval(loop.bound, out_state)
+            start = self._expr_interval(loop.start, out_state)
+            current = state.get(var, TOP)
+            into_body = (loop.var not in pred.loop_vars
+                         and var in dst.loop_vars)
+            if into_body:
+                guard = Interval(
+                    start.lo,
+                    None if bound.hi is None else bound.hi - 1)
+                narrowed = current.meet(guard)
+                if narrowed.is_empty:
+                    return None
+                state[var] = narrowed
+            else:
+                # the guard failed: var has reached the bound
+                narrowed = current.meet(Interval(bound.lo, None))
+                if narrowed.is_empty:
+                    return None
+                state[var] = narrowed
+        if dst.kind == "header" and dst.loop is not None:
+            loop = dst.loop
+            if self._is_back_edge(pred, dst):
+                # model the implicit `var += step` of the back edge
+                state[loop.var] = state.get(loop.var, TOP).shift(
+                    loop.step)
+            else:
+                state[loop.var] = self._expr_interval(loop.start,
+                                                      out_state)
+        return state
+
+    @staticmethod
+    def _join_states(states: Sequence[State]) -> State:
+        if not states:
+            return {}
+        keys = set(states[0])
+        for s in states[1:]:
+            keys &= set(s)          # a var missing anywhere is TOP
+        out: State = {}
+        for k in keys:
+            r = states[0][k]
+            for s in states[1:]:
+                r = r.join(s[k])
+            out[k] = r
+        return out
+
+    @staticmethod
+    def _widen_state(old: State, new: State) -> State:
+        out: State = {}
+        for k, r in new.items():
+            prev = old.get(k)
+            out[k] = r if prev is None else prev.widen(r)
+        return out
+
+    def _solve(self) -> None:
+        cfg = self.cfg
+        order = cfg.rpo()
+        block_out: Dict[int, State] = {}
+        self.block_in = {cfg.entry: {}}
+        block_out[cfg.entry] = self._transfer(cfg.block(cfg.entry), {})
+        rounds = 0
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for bid in order:
+                if bid == cfg.entry:
+                    continue
+                blk = cfg.block(bid)
+                incoming: List[State] = []
+                for p in blk.preds:
+                    if p not in block_out:
+                        continue
+                    es = self._edge_state(cfg.block(p), blk,
+                                          block_out[p])
+                    if es is not None:
+                        incoming.append(es)
+                merged = self._join_states(incoming)
+                if blk.kind == "header" and rounds > _WIDEN_AFTER \
+                        and bid in self.block_in:
+                    merged = self._widen_state(self.block_in[bid],
+                                               merged)
+                new_out = self._transfer(blk, merged)
+                if merged != self.block_in.get(bid) \
+                        or new_out != block_out.get(bid):
+                    self.block_in[bid] = merged
+                    block_out[bid] = new_out
+                    changed = True
+        # descending (narrowing) rounds: recompute without widening so
+        # bounds pushed to infinity by widening tighten back where the
+        # guard conditions justify it
+        for _ in range(_NARROW_ROUNDS):
+            for bid in order:
+                if bid == cfg.entry:
+                    continue
+                blk = cfg.block(bid)
+                incoming = []
+                for p in blk.preds:
+                    if p not in block_out:
+                        continue
+                    es = self._edge_state(cfg.block(p), blk,
+                                          block_out[p])
+                    if es is not None:
+                        incoming.append(es)
+                merged = self._join_states(incoming)
+                self.block_in[bid] = merged
+                block_out[bid] = self._transfer(blk, merged)
+
+
+def loop_headers(cfg: Cfg) -> List[Tuple[int, For]]:
+    """(bid, For) for every loop header, in RPO."""
+    return [(bid, blk.loop) for bid in cfg.rpo()
+            for blk in (cfg.block(bid),)
+            if blk.kind == "header" and blk.loop is not None]
+
+
+def step_var_ranges(loop_vars: Sequence[str], trips: Sequence[int],
+                    offset_vars: Sequence[str],
+                    vranges: Optional[ValueRanges] = None
+                    ) -> Dict[str, Interval]:
+    """Ranges for one collapsed accelerated step.
+
+    Collapsed loop variables get their exact iteration box; any other
+    variable in the address expression falls back to the CFG-derived
+    global range (TOP when the dataflow could not bound it).
+    """
+    out: Dict[str, Interval] = {
+        v: Interval.bounded(0, t - 1)
+        for v, t in zip(loop_vars, trips)}
+    for var in offset_vars:
+        if var not in out:
+            out[var] = (vranges.global_range(var) if vranges is not None
+                        else TOP)
+    return out

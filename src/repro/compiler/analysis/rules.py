@@ -18,14 +18,29 @@ MEA010    reduction under a parallel loop (ERROR when the update is
 MEA011    effect summary unavailable (escaping buffer) — demote
 MEA012    interprocedural lifecycle mismatch (MEA001/003/004/006
           reached through a user-defined function's summary)
+MEA015    static out-of-bounds: a footprint provably exceeds its
+          buffer's allocation — reject
+MEA016    possibly out of bounds under the derived value ranges —
+          demote (warning)
+MEA017    a symbolic dependence prover gave up; the verdict fell
+          back to bounded enumeration or stayed unknown (info)
 ========  ========================================================
 
 ``error`` findings split two ways: alias/dependence/race errors
 (MEA002, MEA005, MEA008–MEA011) *demote* the accelerated call back to
 the host library — the program still runs, just without the unsound
 offload — while lifecycle errors (MEA001/003/004/006 and their
-interprocedural form MEA012) describe a program that is wrong on any
-target and therefore reject it.
+interprocedural form MEA012) and provable out-of-bounds footprints
+(MEA015) describe a program that is wrong on any target and therefore
+reject it. MEA016 is the sole *warning* that demotes: the program may
+be correct, but the offload cannot be proven in-bounds.
+
+Dependence questions are answered by the symbolic prover tower in
+:mod:`.deptest` (constant-distance, mixed-radix, value-range bounds,
+GCD, Banerjee direction vectors) with bounded enumeration only as a
+flagged fallback; MEA002/MEA005 findings carry the prover name, and
+every offloaded step earns a :class:`SafetyCertificate` recording the
+proofs (:mod:`.certificates`).
 
 The analysis is summary-based: user-defined function calls are never
 re-analysed per call site; their precomputed effect summaries
@@ -35,17 +50,22 @@ the call chain for diagnostics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.compiler.analysis.alias import (INPLACE_EXACT_OK,
-                                           cross_iteration_overlap,
-                                           same_iteration_relation,
-                                           step_accesses)
+                                           cross_iteration,
+                                           same_iteration,
+                                           step_accesses, step_ranges)
+from repro.compiler.analysis.certificates import (SafetyCertificate,
+                                                  certify_schedule)
 from repro.compiler.analysis.cfg import Cfg, build_cfg
 from repro.compiler.analysis.dataflow import LifecycleFacts, Liveness
+from repro.compiler.analysis.deptest import DepVerdict
 from repro.compiler.analysis.events import BufferEvent, stmt_events
-from repro.compiler.analysis.races import classify_races
+from repro.compiler.analysis.races import classify_races, fallback_note
+from repro.compiler.analysis.ranges import (TOP, Interval, ValueRanges,
+                                            affine_interval)
 from repro.compiler.analysis.summaries import (FunctionSummary,
                                                compute_summaries)
 from repro.compiler.cast import Program
@@ -56,9 +76,12 @@ from repro.compiler.recognizer import AccelCallStep, Schedule
 #: Error codes that demote the accelerated call to host execution.
 DEMOTE_CODES = frozenset({"MEA002", "MEA005", "MEA008", "MEA009",
                           "MEA010", "MEA011"})
+#: Warning codes that demote: the program may be right, but the
+#: offload cannot be proven safe under the derived value ranges.
+WARN_DEMOTE_CODES = frozenset({"MEA016"})
 #: Error codes that reject the program outright (wrong on any target).
 REJECT_CODES = frozenset({"MEA001", "MEA003", "MEA004", "MEA006",
-                          "MEA012"})
+                          "MEA012", "MEA015"})
 
 
 @dataclass
@@ -68,6 +91,8 @@ class AnalysisResult:
     program: Program
     schedule: Schedule
     report: DiagnosticReport
+    certificates: Tuple[SafetyCertificate, ...] = field(
+        default_factory=tuple)
 
     @property
     def ok(self) -> bool:
@@ -157,43 +182,55 @@ def _escaped_buffers(cfg: Cfg, schedule: Schedule,
     return escaped
 
 
-# -- alias / dependence rules (MEA002/005) -----------------------------------
+# -- alias / dependence rules (MEA002/005/017) --------------------------------
 
 def _check_step_aliasing(step: AccelCallStep, step_index: int,
                          schedule: Schedule,
-                         report: DiagnosticReport) -> None:
+                         report: DiagnosticReport,
+                         vranges: Optional[ValueRanges] = None) -> None:
     env = schedule.env
     accesses = step_accesses(step, env)
-    trips_by_var = dict(zip(step.loop_vars, step.trips))
+    loop_ranges, invariant = step_ranges(step, vranges)
     writes = [a for a in accesses if a.writes]
     seen: Set[Tuple] = set()
 
-    def emit(code: str, message: str, fields: Tuple[str, ...],
-             buffers: Tuple[str, ...]) -> None:
+    def emit(code: str, severity: Severity, message: str,
+             fields: Tuple[str, ...], buffers: Tuple[str, ...],
+             prover: str = "") -> None:
         key = (code, step_index, tuple(sorted(fields)))
         if key in seen:
             return
         seen.add(key)
-        report.add(Diagnostic(code=code, severity=Severity.ERROR,
+        report.add(Diagnostic(code=code, severity=severity,
                               message=message, loc=step.loc,
-                              buffers=buffers, step_index=step_index))
+                              buffers=buffers, step_index=step_index,
+                              prover=prover))
+
+    def note_fallback(verdict: DepVerdict, w, other) -> None:
+        if verdict.fallback:
+            emit("MEA017", Severity.INFO,
+                 fallback_note(verdict, w, other),
+                 (w.field, other.field), (w.buffer,),
+                 prover=verdict.prover)
 
     for w in writes:
         for other in accesses:
             if other.field == w.field or other.buffer != w.buffer:
                 continue
-            rel = same_iteration_relation(w, other, trips_by_var)
+            verdict = same_iteration(w, other, loop_ranges, invariant)
+            note_fallback(verdict, w, other)
+            rel = verdict.relation
             if rel == "exact" and step.accel in INPLACE_EXACT_OK:
                 continue
             if rel in ("exact", "overlap", "unknown"):
                 detail = ("aliases" if rel != "unknown"
                           else "may alias")
-                emit("MEA002",
+                emit("MEA002", Severity.ERROR,
                      f"{step.accel} output {w.field} {detail} "
                      f"{other.field} on buffer {w.buffer!r} "
                      "(in-place operation is not supported by this "
                      "accelerator)", (w.field, other.field),
-                     (w.buffer,))
+                     (w.buffer,), prover=verdict.prover)
 
     if not step.looped or step.omp:
         # omp-collapsed steps answer to the race detector (MEA008-010)
@@ -208,18 +245,81 @@ def _check_step_aliasing(step: AccelCallStep, step_index: int,
             if pair_key in checked:
                 continue
             checked.add(pair_key)
-            rel = cross_iteration_overlap(w, other, trips_by_var)
-            if rel == "disjoint":
+            verdict = cross_iteration(w, other, loop_ranges, invariant)
+            note_fallback(verdict, w, other)
+            if verdict.relation == "disjoint":
                 continue
             detail = ("carries a dependence across iterations"
-                      if rel == "overlap"
+                      if verdict.relation == "overlap"
                       else "cannot be proven iteration-independent")
             fields = (w.field,) if other.field == w.field \
                 else (w.field, other.field)
-            emit("MEA005",
+            emit("MEA005", Severity.ERROR,
                  f"{step.accel} write to {w.field} on buffer "
                  f"{w.buffer!r} {detail}; OpenMP collapse is unsafe",
-                 fields, (w.buffer,))
+                 fields, (w.buffer,), prover=verdict.prover)
+
+
+# -- static bounds rules (MEA015/016) -----------------------------------------
+
+def _check_step_bounds(step: AccelCallStep, step_index: int,
+                       schedule: Schedule, report: DiagnosticReport,
+                       vranges: Optional[ValueRanges] = None) -> None:
+    """Footprint-vs-allocation check for every address field.
+
+    The footprint of a field is ``[min offset, max offset + extent)``
+    over the derived variable ranges. An affine attains its interval
+    bounds at corners of the iteration box, so when every variable in
+    the offset is an exact loop variable a violation is *provable*
+    (MEA015: reject — some iteration really touches bytes outside the
+    allocation). When the interval involves over-approximated or
+    unbounded symbolic ranges the step is only *possibly* out of
+    bounds (MEA016: demote with a warning).
+    """
+    env = schedule.env
+    accesses = step_accesses(step, env)
+    loop_ranges, invariant = step_ranges(step, vranges)
+    ranges = {**invariant, **loop_ranges}
+    seen: Set[str] = set()
+    for acc in accesses:
+        if acc.field in seen:
+            continue
+        seen.add(acc.field)
+        info = env.buffers.get(acc.buffer)
+        if info is None or info.count <= 0 or acc.extent <= 0:
+            continue                # allocation size unknown
+        span = affine_interval(acc.offset, ranges)
+        total = info.total_bytes
+        lo = span.lo
+        hi = None if span.hi is None else span.hi + acc.extent - 1
+        if lo is not None and hi is not None \
+                and lo >= 0 and hi < total:
+            continue                # provably inside
+        exact = all(not coef or var in loop_ranges
+                    for var, coef in acc.offset.coefs.items())
+        if exact and lo is not None and hi is not None:
+            report.add(Diagnostic(
+                code="MEA015", severity=Severity.ERROR,
+                message=f"{step.accel} field {acc.field} touches "
+                        f"bytes [{lo}, {hi}] of buffer "
+                        f"{acc.buffer!r}, outside its allocated "
+                        f"[0, {total}) byte interval",
+                loc=step.loc, buffers=(acc.buffer,),
+                step_index=step_index, prover="interval-bounds"))
+            continue
+        unbounded = sorted(
+            var for var, coef in acc.offset.coefs.items()
+            if coef and not ranges.get(var, TOP).is_bounded)
+        why = (f"the range of {', '.join(unbounded)!s} is unbounded"
+               if unbounded else "the derived ranges are inexact")
+        report.add(Diagnostic(
+            code="MEA016", severity=Severity.WARNING,
+            message=f"{step.accel} field {acc.field} cannot be "
+                    f"proven inside buffer {acc.buffer!r}'s "
+                    f"[0, {total}) byte interval ({why}); demoting "
+                    "the call to the host",
+            loc=step.loc, buffers=(acc.buffer,),
+            step_index=step_index, prover="interval-bounds"))
 
 
 # -- entry points ------------------------------------------------------------
@@ -230,13 +330,15 @@ def check_program(program: Program,
     report = DiagnosticReport()
     cfg = build_cfg(program)
     summaries = compute_summaries(program, schedule.env)
+    vranges = ValueRanges(cfg, schedule.env)
     _check_lifecycle(cfg, schedule, report, summaries)
     _check_dead_buffers(cfg, schedule, report, summaries)
     escaped = _escaped_buffers(cfg, schedule, summaries)
     for idx, step in enumerate(schedule.steps):
         if not isinstance(step, AccelCallStep):
             continue
-        _check_step_aliasing(step, idx, schedule, report)
+        _check_step_aliasing(step, idx, schedule, report, vranges)
+        _check_step_bounds(step, idx, schedule, report, vranges)
         if not step.omp:
             continue
         touched = [b for b in dict.fromkeys(step.in_bufs
@@ -253,7 +355,7 @@ def check_program(program: Program,
                 loc=step.loc, buffers=tuple(touched), step_index=idx,
                 chain=escaped[buf]))
             continue
-        report.extend(classify_races(step, idx, schedule.env))
+        report.extend(classify_races(step, idx, schedule.env, vranges))
     return report.sort()
 
 
@@ -265,23 +367,33 @@ def analyze_source(source: str) -> AnalysisResult:
     program = parse_source(source)
     schedule = recognize(program)
     report = check_program(program, schedule)
+    certificates: Tuple[SafetyCertificate, ...] = ()
+    if not rejection_errors(report):
+        _, demoted = apply_demotions(schedule, report)
+        certificates = certify_schedule(program, schedule,
+                                        skip=demoted)
     return AnalysisResult(program=program, schedule=schedule,
-                          report=report)
+                          report=report, certificates=certificates)
 
 
 def apply_demotions(schedule: Schedule, report: DiagnosticReport
                     ) -> Tuple[Schedule, List[int]]:
     """Demote accel steps flagged by any :data:`DEMOTE_CODES` error
-    (alias, serial dependence, race, unavailable summary) to host
-    calls.
+    (alias, serial dependence, race, unavailable summary) or
+    :data:`WARN_DEMOTE_CODES` warning (possible out-of-bounds) to
+    host calls.
 
     Returns the (possibly new) schedule and the demoted step indices.
     """
     to_demote: Set[int] = set()
     for diag in report:
+        if diag.step_index is None:
+            continue
         if diag.code in DEMOTE_CODES \
-                and diag.severity is Severity.ERROR \
-                and diag.step_index is not None:
+                and diag.severity is Severity.ERROR:
+            to_demote.add(diag.step_index)
+        elif diag.code in WARN_DEMOTE_CODES \
+                and diag.severity is Severity.WARNING:
             to_demote.add(diag.step_index)
     if not to_demote:
         return schedule, []

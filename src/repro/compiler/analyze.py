@@ -10,9 +10,11 @@ Each file is parsed, recognized, and run through the full rule battery
 classic ``file:line:col: severity: CODE title: message`` shape, as one
 JSON report per file with ``--json`` (schema ``mea-analysis/v1``,
 unchanged), or as a single SARIF 2.1.0 log with ``--sarif`` for code
-scanners and CI annotation. The exit status is 1 when any file
-produced an error-severity finding (or failed to compile at all), 0
-otherwise — so the analyzer can gate CI.
+scanners and CI annotation. Both machine formats also carry the
+rewrite-safety certificates of every step that stayed offloaded
+(``certificates`` key / SARIF run ``properties.certificates``). The
+exit status is 1 when any file produced an error-severity finding (or
+failed to compile at all), 0 otherwise — so the analyzer can gate CI.
 """
 
 from __future__ import annotations
@@ -20,8 +22,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.compiler.analysis.certificates import SafetyCertificate
 from repro.compiler.analysis.rules import analyze_source
 from repro.compiler.cast import CParseError
 from repro.compiler.diagnostics import (CODE_TITLES, Diagnostic,
@@ -33,20 +36,23 @@ _SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning",
                  Severity.INFO: "note"}
 
 
-def _report_for(source: str) -> DiagnosticReport:
+def _report_for(source: str) -> Tuple[DiagnosticReport,
+                                      Tuple[SafetyCertificate, ...]]:
     """Analyze one source text, folding front-end failures into the
-    report as diagnostics instead of tracebacks."""
+    report as diagnostics instead of tracebacks. Returns the sorted
+    report plus the safety certificates of every offloaded step."""
     try:
-        return analyze_source(source).report.sort()
+        result = analyze_source(source)
+        return result.report.sort(), result.certificates
     except CompilerError as exc:
         report = DiagnosticReport()
         report.add(exc.diagnostic)
-        return report
+        return report, ()
     except CParseError as exc:
         report = DiagnosticReport()
         report.add(Diagnostic(code="MEA013", severity=Severity.ERROR,
                               message=str(exc)))
-        return report
+        return report, ()
 
 
 def _sarif_result(path: str, diag: Diagnostic) -> Dict[str, object]:
@@ -75,13 +81,21 @@ def _sarif_result(path: str, diag: Diagnostic) -> Dict[str, object]:
 
 
 def _sarif_log(per_file: List) -> Dict[str, object]:
-    """One SARIF 2.1.0 run covering every analyzed file."""
+    """One SARIF 2.1.0 run covering every analyzed file.
+
+    Per-file rewrite-safety certificates ride in the run's
+    ``properties.certificates`` bag (SARIF has no first-class slot for
+    proofs of *absence* of problems).
+    """
     rules = [{"id": code,
               "shortDescription": {"text": title}}
              for code, title in sorted(CODE_TITLES.items())]
     results: List[Dict[str, object]] = []
-    for path, report in per_file:
+    certificates: Dict[str, List[Dict[str, object]]] = {}
+    for path, report, certs in per_file:
         results.extend(_sarif_result(path, d) for d in report)
+        if certs:
+            certificates[path] = [c.to_dict() for c in certs]
     return {
         "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
                     "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
@@ -93,6 +107,7 @@ def _sarif_log(per_file: List) -> Dict[str, object]:
                 "rules": rules,
             }},
             "results": results,
+            "properties": {"certificates": certificates},
         }],
     }
 
@@ -123,15 +138,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{path}: {exc}", file=sys.stderr)
             failed = True
             continue
-        report = _report_for(source)
+        report, certs = _report_for(source)
         if report.has_errors:
             failed = True
         if args.json:
             payload = report.to_dict()
             payload["file"] = path
+            payload["certificates"] = [c.to_dict() for c in certs]
             json_out.append(payload)
         elif args.sarif:
-            sarif_in.append((path, report))
+            sarif_in.append((path, report, certs))
         else:
             for diag in report:
                 print(f"{path}:{diag.format()}")

@@ -30,6 +30,15 @@ MEA012    error     interprocedural lifecycle mismatch (violation
                     reached through a user-defined function call)
 MEA013    error     recognition failure (unsupported library use)
 MEA014    error     semantic-analysis failure (non-constant, alias form)
+MEA015    error     static out-of-bounds: an accelerated call's
+                    footprint provably exceeds the allocated byte
+                    interval (program rejected)
+MEA016    warning   possibly out of bounds: the derived value ranges
+                    cannot prove the footprint stays inside the
+                    allocation (call demoted to the host)
+MEA017    info      a symbolic dependence prover gave up and the
+                    verdict fell back to bounded enumeration (or
+                    stayed unknown)
 ========  ========  ====================================================
 """
 
@@ -82,6 +91,9 @@ CODE_TITLES: Dict[str, str] = {
     "MEA012": "interprocedural lifecycle mismatch",
     "MEA013": "recognition failure",
     "MEA014": "semantic-analysis failure",
+    "MEA015": "static out-of-bounds footprint",
+    "MEA016": "possibly out-of-bounds footprint",
+    "MEA017": "dependence prover fallback",
 }
 
 
@@ -101,6 +113,12 @@ class Diagnostic:
     #: through, outermost call first (empty for intra-procedural
     #: findings).
     chain: Tuple[str, ...] = ()
+    #: name of the dependence prover backing (or failing to back) the
+    #: finding — ``"gcd"``, ``"banerjee"``, ``"mixed-radix"``,
+    #: ``"interval-bounds"``, ``"constant-distance"``,
+    #: ``"enumeration"``, or ``"none"``. Empty for findings no prover
+    #: was involved in.
+    prover: str = ""
 
     @property
     def title(self) -> str:
@@ -129,6 +147,8 @@ class Diagnostic:
             out["step_index"] = self.step_index
         if self.chain:
             out["chain"] = list(self.chain)
+        if self.prover:
+            out["prover"] = self.prover
         return out
 
     def sort_key(self) -> Tuple[int, int, int, str, str]:

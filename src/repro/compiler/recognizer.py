@@ -11,7 +11,8 @@ FFT invocations, exactly as the paper maps them).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.accel.axpy import AxpyParams
 from repro.accel.base import StrideTable
@@ -29,6 +30,11 @@ from repro.compiler.errors import CompilerError
 from repro.compiler.inline import inline_body
 from repro.compiler.semantics import (BufferInfo, CompileEnv, IoDimSpec,
                                       PlanSpec, SemanticError, build_env)
+
+if TYPE_CHECKING:                     # break the runtime import cycle:
+    # certificates are produced by the analysis layer, which imports
+    # this module; steps only *carry* them.
+    from repro.compiler.analysis.certificates import SafetyCertificate
 
 
 class RecognizerError(CompilerError):
@@ -157,6 +163,12 @@ class AccelCallStep:
     chain: Tuple[str, ...] = ()
     loc: Optional[SourceLoc] = field(default=None, compare=False,
                                      repr=False)
+    #: rewrite-safety certificate attached after the rule battery ran
+    #: (None until then, and always None on demoted/unchecked steps).
+    #: Excluded from equality so checked and unchecked schedules of a
+    #: clean program still compare equal.
+    certificate: Optional["SafetyCertificate"] = field(
+        default=None, compare=False, repr=False)
 
     def demote(self) -> HostCallStep:
         """The same call site, kept on the host library."""
@@ -234,11 +246,23 @@ class Recognizer:
                ) -> RecognizerError:
         return RecognizerError(message, loc=loc or self._loc)
 
-    def _const(self, expr: Expr) -> int:
+    def _const(self, expr: Expr) -> Union[int, float]:
         try:
             return self.env.eval_const(expr)
         except SemanticError as exc:
             raise self._error(exc.message) from exc
+
+    def _int_const(self, expr: Expr) -> int:
+        """A constant that must be structurally integral (a size,
+        stride, rank, or trip count — never an ``alpha``-style
+        coefficient, which may legitimately be fractional)."""
+        value = self._const(expr)
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise self._error(f"expected an integer constant, "
+                                  f"got {value!r}")
+            return int(value)
+        return value
 
     def _addr(self, expr: Expr) -> Tuple[str, Affine]:
         try:
@@ -275,8 +299,8 @@ class Recognizer:
 
     def _handle_for(self, loop: For, loop_vars: Tuple[str, ...],
                     trips: Tuple[int, ...]) -> None:
-        start = self._const(loop.start)
-        bound = self._const(loop.bound)
+        start = self._int_const(loop.start)
+        bound = self._int_const(loop.bound)
         if start != 0 or loop.step != 1:
             raise self._error("only canonical 0..N-1 unit-step loops "
                                   "are supported for compaction")
@@ -329,7 +353,7 @@ class Recognizer:
                 raise self._error("malloc must assign a pointer "
                                       "variable")
             buf = self._buffer(stmt.target.name)
-            size = self._const(value.args[0])
+            size = self._int_const(value.args[0])
             buf.count = size // buf.elem_size
             self.schedule.steps.append(
                 AllocStep(buffer=buf.name, loc=stmt.loc))
@@ -347,13 +371,13 @@ class Recognizer:
         args = call.args
         if len(args) != 8:
             raise self._error("fftwf_plan_guru_dft takes 8 arguments")
-        rank = self._const(args[0])
+        rank = self._int_const(args[0])
         dims = self._iodims(args[1], rank)
-        howmany_rank = self._const(args[2])
+        howmany_rank = self._int_const(args[2])
         howmany = self._iodims(args[3], howmany_rank)
         src, src_off = self._addr(args[4])
         dst, dst_off = self._addr(args[5])
-        sign = self._const(args[6])
+        sign = self._int_const(args[6])
         if not src_off.is_constant or not dst_off.is_constant:
             raise self._error("plan buffers must not depend on loop "
                                   "variables")
@@ -442,14 +466,14 @@ class Recognizer:
     def _build_cblas_saxpy(self, call: Call, loop_vars: Tuple[str, ...],
                             trips: Tuple[int, ...]) -> AccelCallStep:
         n, alpha, x, incx, y, incy = call.args
-        if self._const(incx) != 1 or self._const(incy) != 1:
+        if self._int_const(incx) != 1 or self._int_const(incy) != 1:
             raise self._error("accelerated saxpy requires unit "
                                   "strides")
         xbuf, xoff = self._addr(x)
         ybuf, yoff = self._addr(y)
         proto = ParamsProto(
             params_type=AxpyParams,
-            scalars={"n": self._const(n),
+            scalars={"n": self._int_const(n),
                      "alpha": float(self._const(alpha))},
             addrs={"x_pa": (xbuf, xoff), "y_pa": (ybuf, yoff)})
         return self._accel_step("AXPY", proto, [xbuf, ybuf], [ybuf],
@@ -463,8 +487,9 @@ class Recognizer:
         obuf, ooff = self._addr(out)
         proto = ParamsProto(
             params_type=DotParams,
-            scalars={"n": self._const(n), "incx": self._const(incx),
-                     "incy": self._const(incy), "dtype": dtype},
+            scalars={"n": self._int_const(n),
+                     "incx": self._int_const(incx),
+                     "incy": self._int_const(incy), "dtype": dtype},
             addrs={"x_pa": (xbuf, xoff), "y_pa": (ybuf, yoff),
                    "out_pa": (obuf, ooff)})
         return self._accel_step("DOT", proto, [xbuf, ybuf], [obuf],
@@ -482,14 +507,14 @@ class Recognizer:
                             trips: Tuple[int, ...]) -> AccelCallStep:
         (order, trans, m, n, alpha, a, lda, x, incx, beta, y,
          incy) = call.args
-        if self._const(order) != 101 or self._const(trans) != 111:
+        if self._int_const(order) != 101 or self._int_const(trans) != 111:
             raise self._error("accelerated sgemv supports row-major "
                                   "no-transpose only")
-        if self._const(incx) != 1 or self._const(incy) != 1:
+        if self._int_const(incx) != 1 or self._int_const(incy) != 1:
             raise self._error("accelerated sgemv requires unit "
                                   "strides")
-        m_val, n_val = self._const(m), self._const(n)
-        if self._const(lda) != n_val:
+        m_val, n_val = self._int_const(m), self._int_const(n)
+        if self._int_const(lda) != n_val:
             raise self._error("accelerated sgemv requires lda == n")
         abuf, aoff = self._addr(a)
         xbuf, xoff = self._addr(x)
@@ -507,7 +532,7 @@ class Recognizer:
     def _build_mkl_scsrgemv(self, call: Call, loop_vars: Tuple[str, ...],
                              trips: Tuple[int, ...]) -> AccelCallStep:
         m, a, ia, ja, x, y = call.args
-        rows = self._const(m)
+        rows = self._int_const(m)
         abuf, _ = self._addr(a)
         ibuf, ioff = self._addr(ia)
         jbuf, joff = self._addr(ja)
@@ -534,9 +559,9 @@ class Recognizer:
         obuf, ooff = self._addr(out)
         proto = ParamsProto(
             params_type=ResmpParams,
-            scalars={"blocks": self._const(blocks),
-                     "n_in": self._const(n_in),
-                     "n_out": self._const(n_out)},
+            scalars={"blocks": self._int_const(blocks),
+                     "n_in": self._int_const(n_in),
+                     "n_out": self._int_const(n_out)},
             addrs={"in_pa": (ibuf, ioff), "sites_pa": (sbuf, soff),
                    "out_pa": (obuf, ooff), "knots_pa": (kbuf, koff)})
         return self._accel_step("RESMP", proto, [kbuf, ibuf, sbuf],
@@ -551,8 +576,8 @@ class Recognizer:
         buf, off = self._addr(ab)
         proto = ParamsProto(
             params_type=ReshpParams,
-            scalars={"rows": self._const(rows),
-                     "cols": self._const(cols),
+            scalars={"rows": self._int_const(rows),
+                     "cols": self._int_const(cols),
                      "elem_bytes": self._buffer(buf).elem_size},
             addrs={"src_pa": (buf, off), "dst_pa": (buf, off)})
         return self._accel_step("RESHP", proto, [buf], [buf],
@@ -568,8 +593,8 @@ class Recognizer:
         bbuf, boff = self._addr(b)
         proto = ParamsProto(
             params_type=ReshpParams,
-            scalars={"rows": self._const(rows),
-                     "cols": self._const(cols),
+            scalars={"rows": self._int_const(rows),
+                     "cols": self._int_const(cols),
                      "elem_bytes": self._buffer(abuf).elem_size},
             addrs={"src_pa": (abuf, aoff), "dst_pa": (bbuf, boff)})
         return self._accel_step("RESHP", proto, [abuf], [bbuf],

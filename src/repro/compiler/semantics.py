@@ -11,12 +11,14 @@ environment by one sweep over the AST.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.compiler.affine import Affine, AffineError
 from repro.compiler.cast import (AddrOf, Assign, BinOp, Call, CParseError,
                                  Expr, ExprStmt, For, Ident, Index,
-                                 InitList, Num, Program, Sizeof, VarDecl)
+                                 InitList, Num, Program, Sizeof, Stmt,
+                                 VarDecl)
 from repro.compiler.cparser import TYPE_KEYWORDS
 from repro.compiler.errors import CompilerError
 
@@ -35,6 +37,11 @@ BUILTIN_CONSTANTS = {
     "CblasUpper": 121,
     "CblasLower": 122,
 }
+
+
+#: A compile-time constant value: integer sizes/strides, or float
+#: coefficients like AXPY's ``alpha``.
+Number = Union[int, float]
 
 
 class SemanticError(CompilerError):
@@ -109,8 +116,13 @@ class CompileEnv:
 
     # -- constant evaluation -------------------------------------------------
 
-    def eval_const(self, expr: Expr):
-        """Evaluate a compile-time-constant expression."""
+    def eval_const(self, expr: Expr) -> Union[int, float]:
+        """Evaluate a compile-time-constant expression.
+
+        Integer arithmetic stays integral (``/`` floor-divides); a
+        float anywhere (``0.5``-style coefficients) makes the result a
+        float.
+        """
         if isinstance(expr, Num):
             return expr.value
         if isinstance(expr, Ident):
@@ -123,11 +135,14 @@ class CompileEnv:
         if isinstance(expr, BinOp):
             left = self.eval_const(expr.left)
             right = self.eval_const(expr.right)
-            ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
-                   "*": lambda a, b: a * b,
-                   "/": lambda a, b: a // b if isinstance(a, int)
-                   and isinstance(b, int) else a / b,
-                   "%": lambda a, b: a % b}
+            ops: Dict[str, Callable[[Number, Number], Number]] = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b if isinstance(a, int)
+                and isinstance(b, int) else a / b,
+                "%": lambda a, b: a % b,
+            }
             if expr.op not in ops:
                 raise SemanticError(f"operator {expr.op!r} in constant "
                                     "expression")
@@ -218,16 +233,17 @@ def _decl_iodims(env: CompileEnv, decl: VarDecl) -> None:
     if not isinstance(decl.init, InitList):
         raise SemanticError(f"fftw_iodim {decl.name!r} needs an "
                             "initialiser list", loc=decl.loc)
-    entries = []
-    items = decl.init.items
+    entries: List[IoDimSpec] = []
+    items: Sequence[Expr] = decl.init.items
     # accept both {{a,b,c},...} and a flat {a,b,c} for one dim
     if items and not isinstance(items[0], InitList):
-        items = (InitList(items=items),)
+        items = (InitList(items=tuple(items)),)
     for item in items:
         if not isinstance(item, InitList) or len(item.items) != 3:
             raise SemanticError("fftw_iodim initialiser entries must be "
                                 "{n, is, os}", loc=decl.loc)
-        n, istride, ostride = (env.eval_const(e) for e in item.items)
+        n, istride, ostride = (int(env.eval_const(e))
+                               for e in item.items)
         entries.append(IoDimSpec(n=n, istride=istride, ostride=ostride))
     env.iodims[decl.name] = entries
 
@@ -243,7 +259,7 @@ def build_env(program: Program) -> CompileEnv:
     for name, value in program.defines:
         env.constants[name] = value
 
-    def visit(stmts: Sequence) -> None:
+    def visit(stmts: Sequence[Stmt]) -> None:
         for stmt in stmts:
             if isinstance(stmt, VarDecl):
                 _register_decl(env, stmt)

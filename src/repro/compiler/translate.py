@@ -14,6 +14,7 @@ run the same operations.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple, Union
 
@@ -49,6 +50,9 @@ class TranslatedProgram:
     diagnostics: DiagnosticReport = field(
         default_factory=DiagnosticReport)
     demoted_steps: Tuple[int, ...] = ()
+    #: one rewrite-safety certificate per offloaded step (empty when
+    #: the checker was skipped with ``analyze=False``)
+    certificates: Tuple = ()
 
     def descriptor_count(self) -> int:
         return sum(1 for i in self.items
@@ -75,7 +79,10 @@ def translate(source: Union[str, Program],
     report = DiagnosticReport()
     lowered = schedule
     demoted: List[int] = []
+    certificates: Tuple = ()
     if analyze:
+        from repro.compiler.analysis.certificates import \
+            certify_schedule
         from repro.compiler.analysis.rules import (apply_demotions,
                                                    check_program,
                                                    rejection_errors)
@@ -87,11 +94,20 @@ def translate(source: Union[str, Program],
                                    code=first.code,
                                    buffers=first.buffers)
         lowered, demoted = apply_demotions(schedule, report)
+        certificates = certify_schedule(program, lowered,
+                                        skip=demoted)
+        by_index = {c.step_index: c for c in certificates}
+        steps = [dataclasses.replace(s, certificate=by_index[i])
+                 if isinstance(s, AccelCallStep) and i in by_index
+                 else s
+                 for i, s in enumerate(lowered.steps)]
+        lowered = Schedule(env=lowered.env, steps=steps)
     grouped = optimize(lowered)
     return TranslatedProgram(source_program=program, env=schedule.env,
                              schedule=schedule, items=grouped.items,
                              diagnostics=report,
-                             demoted_steps=tuple(demoted))
+                             demoted_steps=tuple(demoted),
+                             certificates=certificates)
 
 
 # -- profiles -----------------------------------------------------------------

@@ -89,8 +89,10 @@ for (i = 0; i < M; i++) {
 }
 """
 
-# unrecognized: DOT overwrites the same shared scalar each iteration
-UNRECOGNIZED_REDUCTION = """
+# DOT-family reduction: every iteration deposits its partial result
+# into the one shared *_sub scalar; the LOOP descriptor serialises the
+# deposits, so the offload reproduces the serial final value
+DOT_SUB_REDUCTION = """
 #define N 16
 #define M 8
 float a[M][N];
@@ -99,6 +101,21 @@ float out[4];
 #pragma omp parallel for
 for (i = 0; i < M; i++) {
   cblas_sdot_sub(N, &a[i][0], 1, &b[0], 1, &out[0]);
+}
+"""
+
+# unrecognized: GEMV with beta == 0 *overwrites* the shared y from
+# every iteration — not an accumulation, so the final value races
+UNRECOGNIZED_REDUCTION = """
+#define N 16
+#define M 8
+float a[N][N];
+float x[N];
+float y[N];
+#pragma omp parallel for
+for (i = 0; i < M; i++) {
+  cblas_sgemv(CblasRowMajor, CblasNoTrans, N, N, 1.0, &a[0][0], N,
+              &x[0], 1, 0.0, &y[0], 1);
 }
 """
 
@@ -344,6 +361,14 @@ def test_mea010_recognized_reduction_stays_offloaded():
     assert t.demoted_steps == ()
     assert not any(isinstance(i, HostCallStep) for i in t.items)
     assert t.items
+
+
+def test_mea010_dot_sub_reduction_is_info_and_offloaded():
+    diags = report_of(DOT_SUB_REDUCTION).by_code("MEA010")
+    assert diags and all(str(d.severity) == "info" for d in diags)
+    t = translate(DOT_SUB_REDUCTION)
+    assert t.demoted_steps == ()
+    assert not any(isinstance(i, HostCallStep) for i in t.items)
 
 
 def test_mea010_unrecognized_shared_update_is_error():
