@@ -1,0 +1,22 @@
+// Streaming gain + per-chunk corner turn. Each chunk's scaled
+// accumulate feeds the matching transpose chunk, so the verified
+// rewrite layer fuses the two loop-compacted passes into one
+// LOOP { PASS { AXPY RESHP } }: 'acc' stays in tile-local memory
+// and never round-trips through DRAM (MEA018, certificate carried).
+#define R 16
+#define C 16
+#define CHUNK 256
+#define CHUNKS 8
+
+float gain[CHUNKS][CHUNK];
+float acc[CHUNKS][CHUNK];
+float img[CHUNKS][CHUNK];
+int i;
+
+// per-chunk gain accumulate (the producer)
+for (i = 0; i < CHUNKS; ++i)
+  cblas_saxpy(CHUNK, 0.5, &gain[i][0], 1, &acc[i][0], 1);
+
+// per-chunk corner turn of exactly that chunk (the consumer)
+for (i = 0; i < CHUNKS; ++i)
+  mkl_somatcopy(R, C, 1.0, &acc[i][0], &img[i][0]);

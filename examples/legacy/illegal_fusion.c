@@ -1,0 +1,25 @@
+// Seeded illegal-fusion sibling of fusable_chain.c: every transpose
+// chunk reads the SAME first slab of 'acc' (a broadcast), while the
+// producer loop is still writing later slabs. Interleaving the two
+// loops would let iteration 0 of the producer race iterations 1..7
+// of the consumer, so the rewrite engine must refuse the fusion
+// (MEA019 names the blocking dependence). The program itself is
+// clean — both loops are individually certified and offloaded.
+#define R 16
+#define C 16
+#define CHUNK 256
+#define CHUNKS 8
+
+float gain[CHUNKS][CHUNK];
+float acc[CHUNKS][CHUNK];
+float img[CHUNKS][CHUNK];
+int i;
+
+// per-chunk gain accumulate (the would-be producer)
+for (i = 0; i < CHUNKS; ++i)
+  cblas_saxpy(CHUNK, 0.5, &gain[i][0], 1, &acc[i][0], 1);
+
+// broadcast corner turn of slab 0 only: NOT the producer's
+// per-iteration output
+for (i = 0; i < CHUNKS; ++i)
+  mkl_somatcopy(R, C, 1.0, &acc[0][0], &img[i][0]);

@@ -16,6 +16,9 @@ from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
                                        HostCallStep, ParamsProto,
                                        PlanDestroyStep, RecognizerError,
                                        Schedule, recognize)
+from repro.compiler.rewrite import (FusedStep, RewriteConfig,
+                                    RewriteDecision, RewriteResult,
+                                    rewrite_schedule)
 from repro.compiler.semantics import (BufferInfo, CompileEnv, PlanSpec,
                                       SemanticError, build_env)
 from repro.compiler.translate import (HOST_CALL_OVERHEAD_S,
@@ -34,5 +37,6 @@ __all__ = [
     "RecognizerError", "Schedule", "recognize", "BufferInfo",
     "CompileEnv", "PlanSpec", "SemanticError", "build_env",
     "HOST_CALL_OVERHEAD_S", "TranslatedProgram", "step_profile",
-    "translate",
+    "translate", "FusedStep", "RewriteConfig", "RewriteDecision",
+    "RewriteResult", "rewrite_schedule",
 ]

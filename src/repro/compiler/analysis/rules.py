@@ -93,6 +93,9 @@ class AnalysisResult:
     report: DiagnosticReport
     certificates: Tuple[SafetyCertificate, ...] = field(
         default_factory=tuple)
+    #: the rewrite engine's decision log (MEA018/MEA019), empty unless
+    #: the analysis ran with ``rewrite=True``
+    rewrites: Tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -359,8 +362,18 @@ def check_program(program: Program,
     return report.sort()
 
 
-def analyze_source(source: str) -> AnalysisResult:
-    """Parse, recognize, and check a C-subset program."""
+def analyze_source(source: str, rewrite: bool = False
+                   ) -> AnalysisResult:
+    """Parse, recognize, and check a C-subset program.
+
+    With ``rewrite`` the verified rewrite engine additionally runs
+    over the certified schedule: its decision log (MEA018 applied /
+    MEA019 rejected, each naming its prover or blocking dependence)
+    joins the report, and the certificates reflect the rewritten
+    steps (fused passes carry the merged proof).
+    """
+    import dataclasses
+
     from repro.compiler.cparser import parse_source
     from repro.compiler.recognizer import recognize
 
@@ -368,12 +381,27 @@ def analyze_source(source: str) -> AnalysisResult:
     schedule = recognize(program)
     report = check_program(program, schedule)
     certificates: Tuple[SafetyCertificate, ...] = ()
+    rewrites: Tuple = ()
     if not rejection_errors(report):
-        _, demoted = apply_demotions(schedule, report)
-        certificates = certify_schedule(program, schedule,
+        lowered, demoted = apply_demotions(schedule, report)
+        certificates = certify_schedule(program, lowered,
                                         skip=demoted)
+        if rewrite:
+            from repro.compiler.rewrite import rewrite_schedule
+            by_index = {c.step_index: c for c in certificates}
+            steps = [dataclasses.replace(s, certificate=by_index[i])
+                     if isinstance(s, AccelCallStep) and i in by_index
+                     else s
+                     for i, s in enumerate(lowered.steps)]
+            certified = Schedule(env=lowered.env, steps=steps)
+            result = rewrite_schedule(program, certified)
+            rewrites = result.decisions
+            certificates = result.certificates
+            report.extend(d.diagnostic() for d in result.decisions)
+            report.sort()
     return AnalysisResult(program=program, schedule=schedule,
-                          report=report, certificates=certificates)
+                          report=report, certificates=certificates,
+                          rewrites=rewrites)
 
 
 def apply_demotions(schedule: Schedule, report: DiagnosticReport

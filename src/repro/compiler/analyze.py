@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.compiler.analyze prog.c [prog2.c ...] [--json]
     python -m repro.compiler.analyze prog.c --sarif > report.sarif
+    python -m repro.compiler.analyze prog.c --rewrite [--json]
 
 Each file is parsed, recognized, and run through the full rule battery
 (:mod:`repro.compiler.analysis`). Findings print one per line in the
@@ -12,9 +13,15 @@ JSON report per file with ``--json`` (schema ``mea-analysis/v1``,
 unchanged), or as a single SARIF 2.1.0 log with ``--sarif`` for code
 scanners and CI annotation. Both machine formats also carry the
 rewrite-safety certificates of every step that stayed offloaded
-(``certificates`` key / SARIF run ``properties.certificates``). The
-exit status is 1 when any file produced an error-severity finding (or
-failed to compile at all), 0 otherwise — so the analyzer can gate CI.
+(``certificates`` key / SARIF run ``properties.certificates``). With
+``--rewrite`` the verified schedule rewrite engine
+(:mod:`repro.compiler.rewrite`) runs over the certified schedule and
+its decision log (MEA018 applied / MEA019 rejected) joins the
+diagnostics, the JSON payload (``rewrites`` key — only when the flag
+is given, so the ``mea-analysis/v1`` schema is unchanged without it)
+and the SARIF run's ``properties.rewrites`` bag. The exit status is 1
+when any file produced an error-severity finding (or failed to
+compile at all), 0 otherwise — so the analyzer can gate CI.
 """
 
 from __future__ import annotations
@@ -36,23 +43,26 @@ _SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning",
                  Severity.INFO: "note"}
 
 
-def _report_for(source: str) -> Tuple[DiagnosticReport,
-                                      Tuple[SafetyCertificate, ...]]:
+def _report_for(source: str, rewrite: bool = False
+                ) -> Tuple[DiagnosticReport,
+                           Tuple[SafetyCertificate, ...], Tuple]:
     """Analyze one source text, folding front-end failures into the
     report as diagnostics instead of tracebacks. Returns the sorted
-    report plus the safety certificates of every offloaded step."""
+    report, the safety certificates of every offloaded step, and the
+    rewrite decision log (empty without ``--rewrite``)."""
     try:
-        result = analyze_source(source)
-        return result.report.sort(), result.certificates
+        result = analyze_source(source, rewrite=rewrite)
+        return (result.report.sort(), result.certificates,
+                result.rewrites)
     except CompilerError as exc:
         report = DiagnosticReport()
         report.add(exc.diagnostic)
-        return report, ()
+        return report, (), ()
     except CParseError as exc:
         report = DiagnosticReport()
         report.add(Diagnostic(code="MEA013", severity=Severity.ERROR,
                               message=str(exc)))
-        return report, ()
+        return report, (), ()
 
 
 def _sarif_result(path: str, diag: Diagnostic) -> Dict[str, object]:
@@ -85,17 +95,26 @@ def _sarif_log(per_file: List) -> Dict[str, object]:
 
     Per-file rewrite-safety certificates ride in the run's
     ``properties.certificates`` bag (SARIF has no first-class slot for
-    proofs of *absence* of problems).
+    proofs of *absence* of problems); with ``--rewrite`` the engine's
+    decision log joins it as ``properties.rewrites``.
     """
     rules = [{"id": code,
               "shortDescription": {"text": title}}
              for code, title in sorted(CODE_TITLES.items())]
     results: List[Dict[str, object]] = []
     certificates: Dict[str, List[Dict[str, object]]] = {}
-    for path, report, certs in per_file:
+    rewrites: Dict[str, List[Dict[str, object]]] = {}
+    any_rewrites = False
+    for path, report, certs, decisions in per_file:
         results.extend(_sarif_result(path, d) for d in report)
         if certs:
             certificates[path] = [c.to_dict() for c in certs]
+        if decisions:
+            any_rewrites = True
+            rewrites[path] = [d.to_dict() for d in decisions]
+    properties: Dict[str, object] = {"certificates": certificates}
+    if any_rewrites:
+        properties["rewrites"] = rewrites
     return {
         "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
                     "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
@@ -107,7 +126,7 @@ def _sarif_log(per_file: List) -> Dict[str, object]:
                 "rules": rules,
             }},
             "results": results,
-            "properties": {"certificates": certificates},
+            "properties": properties,
         }],
     }
 
@@ -123,6 +142,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--sarif", action="store_true",
                         help="emit a single SARIF 2.1.0 log for all "
                              "files")
+    parser.add_argument("--rewrite", default=False,
+                        action=argparse.BooleanOptionalAction,
+                        help="run the verified schedule rewrite "
+                             "engine (fuse/reorder/split) and report "
+                             "its decisions (MEA018/MEA019)")
     args = parser.parse_args(argv)
     if args.json and args.sarif:
         parser.error("--json and --sarif are mutually exclusive")
@@ -138,16 +162,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{path}: {exc}", file=sys.stderr)
             failed = True
             continue
-        report, certs = _report_for(source)
+        report, certs, decisions = _report_for(source,
+                                               rewrite=args.rewrite)
         if report.has_errors:
             failed = True
         if args.json:
             payload = report.to_dict()
             payload["file"] = path
             payload["certificates"] = [c.to_dict() for c in certs]
+            if args.rewrite:
+                payload["rewrites"] = [d.to_dict() for d in decisions]
             json_out.append(payload)
         elif args.sarif:
-            sarif_in.append((path, report, certs))
+            sarif_in.append((path, report, certs, decisions))
         else:
             for diag in report:
                 print(f"{path}:{diag.format()}")

@@ -39,6 +39,11 @@ MEA016    warning   possibly out of bounds: the derived value ranges
 MEA017    info      a symbolic dependence prover gave up and the
                     verdict fell back to bounded enumeration (or
                     stayed unknown)
+MEA018    info      schedule rewrite applied (fuse/reorder/split),
+                    naming the primitive and the prover that
+                    discharged its legality obligations
+MEA019    info      schedule rewrite candidate rejected, naming the
+                    blocking dependence or missing proof
 ========  ========  ====================================================
 """
 
@@ -94,6 +99,8 @@ CODE_TITLES: Dict[str, str] = {
     "MEA015": "static out-of-bounds footprint",
     "MEA016": "possibly out-of-bounds footprint",
     "MEA017": "dependence prover fallback",
+    "MEA018": "schedule rewrite applied",
+    "MEA019": "schedule rewrite rejected",
 }
 
 

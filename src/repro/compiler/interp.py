@@ -32,6 +32,7 @@ from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
                                        HostCallStep, PlanDestroyStep,
                                        RecognizerError)
 from repro.compiler.passes import ChainStep, DescriptorStep
+from repro.compiler.rewrite.ir import FusedStep
 from repro.compiler.semantics import CompileEnv, SemanticError
 from repro.compiler.translate import (HOST_CALL_OVERHEAD_S,
                                       TranslatedProgram, host_step_profile,
@@ -524,6 +525,18 @@ class TranslatedRunner:
             if isinstance(item, ChainStep):
                 comps = " ".join(add_comp(s, False) for s in item.steps)
                 tdl_lines.append(f"PASS {{ {comps} }}")
+            elif isinstance(item, FusedStep):
+                # a verified fusion: one multi-COMP PASS, re-armed by
+                # LOOP when the members are loop-compacted (each COMP
+                # keeps its own stride table)
+                looped = item.looped
+                comps = " ".join(add_comp(s, looped)
+                                 for s in item.steps)
+                if looped:
+                    tdl_lines.append(f"LOOP {item.iterations} "
+                                     f"{{ PASS {{ {comps} }} }}")
+                else:
+                    tdl_lines.append(f"PASS {{ {comps} }}")
             elif isinstance(item, AccelCallStep):
                 if item.looped:
                     comp = add_comp(item, True)

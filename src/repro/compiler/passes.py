@@ -8,6 +8,15 @@ Two rewrites over the recognizer's schedule, straight from the paper:
 * *descriptor grouping* — maximal runs of accelerated steps with no
   intervening host work collapse into a single accelerator descriptor
   (STAP's 17 M library calls end up in 3 descriptors).
+
+Chaining here is *syntactic* (adjacency plus a produced/consumed
+buffer); the verified rewrite layer (:mod:`repro.compiler.rewrite`)
+re-derives the same fusions with machine-checked legality proofs and
+extends them to looped steps.  When that layer ran, ``optimize`` is
+called with ``chain=False``: its :class:`FusedStep` nodes pass through
+chaining untouched and group into descriptors like chains do (a looped
+fused step keeps a descriptor of its own, exactly like a
+loop-compacted call).
 """
 
 from __future__ import annotations
@@ -15,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
-from repro.compiler.recognizer import (AccelCallStep, AllocStep, FreeStep,
-                                       HostCallStep, Schedule)
+from repro.compiler.recognizer import AccelCallStep, Schedule
+from repro.compiler.rewrite.ir import FusedStep
 
 
 @dataclass(frozen=True)
@@ -42,7 +51,7 @@ class ChainStep:
 class DescriptorStep:
     """A maximal group of accel work lowered to one descriptor."""
 
-    items: Tuple
+    items: Tuple[object, ...]
 
 
 @dataclass
@@ -50,7 +59,7 @@ class TranslatedSchedule:
     """The grouped schedule a translated program executes."""
 
     env: object
-    items: List = field(default_factory=list)
+    items: List[object] = field(default_factory=list)
 
     def descriptor_count(self) -> int:
         return sum(1 for item in self.items
@@ -65,13 +74,13 @@ def _chainable(a: AccelCallStep, b: AccelCallStep) -> bool:
     return bool(produced & set(b.in_bufs))
 
 
-def chain_pass(schedule: Schedule) -> List:
+def chain_pass(schedule: Schedule) -> List[object]:
     """Fuse producer->consumer accelerated neighbours into ChainSteps."""
-    out: List = []
+    out: List[object] = []
     for step in schedule.steps:
-        if (isinstance(step, AccelCallStep) and out
-                and isinstance(out[-1], (AccelCallStep, ChainStep))):
-            prev = out[-1]
+        prev = out[-1] if out else None
+        if (isinstance(step, AccelCallStep)
+                and isinstance(prev, (AccelCallStep, ChainStep))):
             tail = prev.steps[-1] if isinstance(prev, ChainStep) else prev
             if _chainable(tail, step):
                 steps = (prev.steps if isinstance(prev, ChainStep)
@@ -82,15 +91,16 @@ def chain_pass(schedule: Schedule) -> List:
     return out
 
 
-def group_descriptors(steps: List) -> TranslatedSchedule:
+def group_descriptors(steps: List[object]) -> List[object]:
     """Collapse maximal accel runs into DescriptorSteps.
 
     A LOOP-compacted step always gets a descriptor of its own (matching
     the paper's one-descriptor-per-OpenMP-nest translation of STAP);
-    adjacent non-looped steps and chains share one descriptor.
+    adjacent non-looped steps, chains, and fused passes share one
+    descriptor.
     """
-    items: List = []
-    run: List = []
+    items: List[object] = []
+    run: List[object] = []
 
     def flush() -> None:
         if run:
@@ -98,10 +108,10 @@ def group_descriptors(steps: List) -> TranslatedSchedule:
             run.clear()
 
     for step in steps:
-        if isinstance(step, AccelCallStep) and step.looped:
+        if isinstance(step, (AccelCallStep, FusedStep)) and step.looped:
             flush()
             items.append(DescriptorStep(items=(step,)))
-        elif isinstance(step, (AccelCallStep, ChainStep)):
+        elif isinstance(step, (AccelCallStep, ChainStep, FusedStep)):
             run.append(step)
         else:
             flush()
@@ -110,8 +120,13 @@ def group_descriptors(steps: List) -> TranslatedSchedule:
     return items
 
 
-def optimize(schedule: Schedule) -> TranslatedSchedule:
-    """Run both rewrites; returns the grouped, translated schedule."""
-    chained = chain_pass(schedule)
+def optimize(schedule: Schedule, chain: bool = True
+             ) -> TranslatedSchedule:
+    """Run both rewrites; returns the grouped, translated schedule.
+
+    ``chain=False`` skips the syntactic chainer — used when the
+    verified rewrite engine already fused everything it could prove.
+    """
+    chained = chain_pass(schedule) if chain else list(schedule.steps)
     items = group_descriptors(chained)
     return TranslatedSchedule(env=schedule.env, items=items)

@@ -53,6 +53,9 @@ class TranslatedProgram:
     #: one rewrite-safety certificate per offloaded step (empty when
     #: the checker was skipped with ``analyze=False``)
     certificates: Tuple = ()
+    #: the rewrite engine's decision log (empty unless ``translate``
+    #: ran with ``rewrite=True``)
+    rewrites: Tuple = ()
 
     def descriptor_count(self) -> int:
         return sum(1 for i in self.items
@@ -63,7 +66,9 @@ class TranslatedProgram:
 
 
 def translate(source: Union[str, Program],
-              analyze: bool = True) -> TranslatedProgram:
+              analyze: bool = True,
+              rewrite: bool = False,
+              rewrite_config=None) -> TranslatedProgram:
     """Compile C-subset source (or a parsed Program).
 
     With ``analyze`` (the default) the static safety checker runs
@@ -72,7 +77,18 @@ def translate(source: Union[str, Program],
     errors (use-before-init, use-after-free, double-free, plan
     executed after destroy) raise :class:`AnalysisRejected`, and the
     full report lands on ``TranslatedProgram.diagnostics``.
+
+    With ``rewrite`` the verified rewrite engine
+    (:mod:`repro.compiler.rewrite`) runs over the certified schedule:
+    fuse/reorder/split, each gated by the dependence provers and
+    logged on ``TranslatedProgram.rewrites`` (MEA018/MEA019 also join
+    the diagnostics).  The syntactic chainer is then skipped — every
+    fusion in a rewritten program carries a machine-checked proof.
+    Requires ``analyze=True`` (rewrites only touch certified steps).
     """
+    if rewrite and not analyze:
+        raise ValueError("rewrite=True requires analyze=True: the "
+                         "engine only rewrites certified steps")
     program = (parse_source(source) if isinstance(source, str)
                else source)
     schedule = recognize(program)
@@ -80,6 +96,7 @@ def translate(source: Union[str, Program],
     lowered = schedule
     demoted: List[int] = []
     certificates: Tuple = ()
+    rewrites: Tuple = ()
     if analyze:
         from repro.compiler.analysis.certificates import \
             certify_schedule
@@ -102,12 +119,22 @@ def translate(source: Union[str, Program],
                  else s
                  for i, s in enumerate(lowered.steps)]
         lowered = Schedule(env=lowered.env, steps=steps)
-    grouped = optimize(lowered)
+    if rewrite:
+        from repro.compiler.rewrite import rewrite_schedule
+        result = rewrite_schedule(program, lowered,
+                                  config=rewrite_config)
+        lowered = result.schedule
+        rewrites = result.decisions
+        certificates = result.certificates
+        report.extend(d.diagnostic() for d in result.decisions)
+        report.sort()
+    grouped = optimize(lowered, chain=not rewrite)
     return TranslatedProgram(source_program=program, env=schedule.env,
                              schedule=schedule, items=grouped.items,
                              diagnostics=report,
                              demoted_steps=tuple(demoted),
-                             certificates=certificates)
+                             certificates=certificates,
+                             rewrites=rewrites)
 
 
 # -- profiles -----------------------------------------------------------------

@@ -1,0 +1,66 @@
+"""Smoke test for the schedule-rewrite benchmark.
+
+Runs ``benchmarks/bench_rewrite.py`` main on the seeded corpus pair
+and asserts the JSON schema, the translation-validation gate (the
+bench itself asserts bit-identical buffers and exact ledger
+decomposition before emitting), and the headline numbers: verified
+fusion of the looped chain must save real modelled energy and elide
+exactly the certificate-priced DRAM traffic, while the illegal
+sibling must change nothing.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_rewrite as rewrite_bench  # noqa: E402
+
+POINT_KEYS = {
+    "time_off_s", "time_on_s", "time_saved_pct", "energy_off_j",
+    "energy_on_j", "energy_saved_pct", "dram_bytes_skipped",
+    "descriptors_off", "descriptors_on", "decisions",
+}
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("rewrite") / "BENCH_rewrite.json"
+    rc = rewrite_bench.main(["--workloads", "fusable_chain.c",
+                             "illegal_fusion.c", "--json", str(out)])
+    assert rc == 0
+    with out.open() as fh:
+        return json.load(fh)
+
+
+def test_schema_is_stable(payload):
+    assert payload["schema"] == rewrite_bench.SCHEMA
+    assert set(payload) == {"schema", "workloads",
+                            "energy_saved_pct_max",
+                            "dram_bytes_skipped_total"}
+    assert set(payload["workloads"]) == {"fusable_chain.c",
+                                         "illegal_fusion.c"}
+    for point in payload["workloads"].values():
+        assert set(point) == POINT_KEYS
+
+
+def test_verified_fusion_saves_energy(payload):
+    point = payload["workloads"]["fusable_chain.c"]
+    assert point["decisions"] == {"fuse_applied": 1}
+    assert point["energy_saved_pct"] > 10.0
+    assert point["time_saved_pct"] > 10.0
+    # 8 iterations x 256 floats, written once and re-read once
+    assert point["dram_bytes_skipped"] == 2 * 8 * 256 * 4
+    assert point["descriptors_on"] < point["descriptors_off"]
+
+
+def test_illegal_fusion_changes_nothing(payload):
+    point = payload["workloads"]["illegal_fusion.c"]
+    assert point["decisions"] == {"fuse_rejected": 1}
+    assert point["energy_saved_pct"] == 0.0
+    assert point["dram_bytes_skipped"] == 0
+    assert point["descriptors_on"] == point["descriptors_off"]
