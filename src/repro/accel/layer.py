@@ -154,6 +154,25 @@ class AcceleratorLayer:
             out[vault] = best
         return out
 
+    # -- vault-bandwidth contention -------------------------------------------
+
+    def contention_slowdown(self, streams: int) -> float:
+        """Pass-time stretch factor when ``streams`` descriptor
+        streams share the stack concurrently.
+
+        Every Table 1 accelerator saturates its vault's TSV bus on its
+        own (the same convention behind :meth:`peak_layer_power`:
+        accelerators never profitably run concurrently because each
+        fills the stack's bandwidth), so ``k`` co-running passes
+        time-share every vault bus and each drain takes ``k`` times
+        its solo duration. The serving runtime prices the stretch into
+        the ``contention`` ledger category; 1 stream means no sharing
+        and exactly factor 1.0.
+        """
+        if streams < 1:
+            raise ValueError(f"streams must be >= 1, got {streams}")
+        return float(streams)
+
     def accelerator(self, name: str) -> AcceleratorCore:
         try:
             return self.accelerators[name]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Tuple, Union, cast
 
 from repro.compiler.cast import Program
 from repro.compiler.cparser import parse_source
@@ -139,27 +139,40 @@ def translate(source: Union[str, Program],
 
 # -- profiles -----------------------------------------------------------------
 
+def _dim(s: Dict[str, object], key: str) -> int:
+    """A scalar from a recognised parameter record, as the int it is.
+
+    ``PrototypeRecord.scalars`` is typed ``Dict[str, object]`` because
+    records also carry non-dimension payloads; every *dimension* the
+    recognizer stores is an int, which this narrows for the profiles.
+    """
+    return cast(int, s[key])
+
+
 def _accel_profile(accel: str, s: Dict[str, object]) -> OpProfile:
     """Profile of one invocation of an accelerator parameter record."""
     if accel == "AXPY":
-        return axpy_profile(s["n"])
+        return axpy_profile(_dim(s, "n"))
     if accel == "DOT":
         if s.get("dtype", 0):
-            return cdotc_profile(s["n"])
-        return dot_profile(s["n"])
+            return cdotc_profile(_dim(s, "n"))
+        return dot_profile(_dim(s, "n"))
     if accel == "GEMV":
-        return gemv_profile(s["m"], s["n"])
+        return gemv_profile(_dim(s, "m"), _dim(s, "n"))
     if accel == "SPMV":
+        nnz, rows = _dim(s, "nnz"), _dim(s, "rows")
         return OpProfile(
-            "SPMV", flops=2.0 * s["nnz"],
-            bytes_read=s["nnz"] * 16 + (s["rows"] + 1) * 8,
-            bytes_written=s["rows"] * 4, pattern="gather")
+            "SPMV", flops=2.0 * nnz,
+            bytes_read=nnz * 16 + (rows + 1) * 8,
+            bytes_written=rows * 4, pattern="gather")
     if accel == "RESMP":
-        return resmp_profile(s["n_in"], s["n_out"], s["blocks"])
+        return resmp_profile(_dim(s, "n_in"), _dim(s, "n_out"),
+                             _dim(s, "blocks"))
     if accel == "FFT":
-        return fft_profile(s["n"], s["batch"])
+        return fft_profile(_dim(s, "n"), _dim(s, "batch"))
     if accel == "RESHP":
-        return reshp_profile(s["rows"], s["cols"], s["elem_bytes"])
+        return reshp_profile(_dim(s, "rows"), _dim(s, "cols"),
+                             _dim(s, "elem_bytes"))
     raise RecognizerError(f"no profile for accelerator {accel!r}")
 
 
@@ -174,15 +187,15 @@ def host_step_profile(step: HostCallStep, env: CompileEnv) -> OpProfile:
         # a demoted accelerated call: same operation, host library
         return _accel_profile(step.accel, step.proto.scalars)
     if step.func == "cblas_cherk":
-        n = env.eval_const(step.args[0])
-        k = env.eval_const(step.args[1])
+        n = int(env.eval_const(step.args[0]))
+        k = int(env.eval_const(step.args[1]))
         return cherk_profile(n, k)
     if step.func in ("cblas_ctrsm_lower", "cblas_ctrsm_upper"):
-        n = env.eval_const(step.args[0])
-        m = env.eval_const(step.args[1])
+        n = int(env.eval_const(step.args[0]))
+        m = int(env.eval_const(step.args[1]))
         return ctrsm_profile(n, m)
     if step.func == "cpotrf_lower":
-        n = env.eval_const(step.args[0])
+        n = int(env.eval_const(step.args[0]))
         return OpProfile("POTRF", flops=4.0 / 3.0 * n ** 3,
                          bytes_read=n * n * 8, bytes_written=n * n * 8,
                          pattern="blocked")

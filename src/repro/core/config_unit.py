@@ -125,6 +125,20 @@ class DescriptorExecution:
     throttle_overhead: ExecResult = ZERO
     #: Serving vaults that were under DVFS during this execution.
     throttled_vaults: int = 0
+    #: Extra time/energy of sharing the stack with concurrent
+    #: descriptor streams (the serving runtime's admission width):
+    #: each pass time-shares every vault's TSV bus with its
+    #: co-runners, so the drain stretches by the layer's contention
+    #: slowdown and the stretch is priced at static power. Like scrub,
+    #: it is *ledgered* (``contention`` category) but never folded
+    #: into :attr:`result` — the solo decomposition is bit-identical
+    #: whatever the admission width, and the serving runtime accounts
+    #: the stretch in the request's latency. ZERO when the descriptor
+    #: ran alone (``concurrency=1``).
+    contention_overhead: ExecResult = ZERO
+    #: Concurrent descriptor streams this execution shared the stack
+    #: with (1 = ran alone).
+    contending_streams: int = 1
     #: Per-vault dynamic heat of this execution, J (thermal runs only).
     vault_heat: Optional[Dict[int, float]] = None
     #: Heat deposited on the logic-layer node, J (thermal runs only).
@@ -600,7 +614,8 @@ class ConfigurationUnit:
             reroutes={v: s for v, s in reroutes.items()})
 
     def run_descriptor(self, desc_pa: int, desc_bytes: int,
-                       functional: bool = True) -> DescriptorExecution:
+                       functional: bool = True,
+                       concurrency: int = 1) -> DescriptorExecution:
         """Execute a descriptor: functional effects + time/energy.
 
         A dead tile (or a mesh-isolated one) no longer aborts the
@@ -613,7 +628,20 @@ class ConfigurationUnit:
         :class:`CuHangError` when an injected hang eats the doorbell,
         and :class:`DescriptorError`/:class:`DescriptorIntegrityError`
         when the fetched descriptor image fails validation.
+
+        ``concurrency`` is the number of descriptor streams sharing
+        the stack while this one runs (the serving runtime's admission
+        width). Each pass's drain stretches by the layer's
+        :meth:`~repro.accel.layer.AcceleratorLayer.contention_slowdown`
+        and the stretch is priced at static power into
+        :attr:`DescriptorExecution.contention_overhead` — the nominal
+        decomposition (accelerator shares, reroute, throttle) is never
+        repriced, so ``concurrency=1`` is bit-identical to a build
+        that predates the knob.
         """
+        if concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {concurrency}")
         flapped: Optional[Tuple[int, int]] = None
         if self.faults is not None:
             flapped = self._inject_structural_faults()
@@ -638,7 +666,7 @@ class ConfigurationUnit:
                        (tuple(sorted(degradation.reroutes.items()))
                         if degradation is not None else ()),
                        slowdown, tuple(throttled),
-                       self.governor is not None)
+                       self.governor is not None, concurrency)
                 entry = cache.lookup(key)
                 if entry is not None:
                     # replay: every *live* side effect still runs —
@@ -665,6 +693,12 @@ class ConfigurationUnit:
             by_accel: Dict[str, ExecResult] = {}
             reroute_total = ZERO
             throttle_total = ZERO
+            contention_total = ZERO
+            # vault-bandwidth contention: co-running descriptor streams
+            # time-share every vault's TSV bus, so each pass's drain
+            # stretches by the layer's slowdown factor (1.0 when alone)
+            contend = (self.layer.contention_slowdown(concurrency)
+                       if concurrency > 1 else 1.0)
             invocations = 0
             vault_heat: Optional[Dict[int, float]] = None
             logic_heat = 0.0
@@ -685,9 +719,25 @@ class ConfigurationUnit:
                     throttle_ov = ExecResult(
                         time=stretch,
                         energy=self.device.static_power() * stretch)
+                contention_ov = ZERO
+                if contend > 1.0:
+                    # time-shared vault bandwidth: the pass drain takes
+                    # `contend` times its solo duration; dynamic joules
+                    # are unchanged, the extra residency costs static
+                    # power (the throttle-stretch pricing convention).
+                    # Like scrub, the stretch is *ledgered* but never
+                    # added to the returned result: the solo
+                    # decomposition stays bit-identical whatever the
+                    # admission width, and the serving runtime folds
+                    # the stretch into the request's latency instead.
+                    stretch = pass_result.time * (contend - 1.0)
+                    contention_ov = ExecResult(
+                        time=stretch,
+                        energy=self.device.static_power() * stretch)
                 total = total.plus(pass_result).plus(throttle_ov)
                 reroute_total = reroute_total.plus(overhead)
                 throttle_total = throttle_total.plus(throttle_ov)
+                contention_total = contention_total.plus(contention_ov)
                 # attribute the healthy-equivalent share of the pass to
                 # its accelerators; the degradation excess is reported
                 # separately so the reroute ledger can carry it (and the
@@ -721,6 +771,12 @@ class ConfigurationUnit:
                         per_vault = throttle_ov.energy / units
                         for v in vault_heat:
                             vault_heat[v] += per_vault
+                    if contention_ov.energy > 0.0:
+                        # the contention stretch is DRAM static burn:
+                        # it spreads over every vault, like throttle
+                        per_vault = contention_ov.energy / units
+                        for v in vault_heat:
+                            vault_heat[v] += per_vault
                 self._release_tiles()
             if self.governor is not None and throttle_total.time > 0.0:
                 self.governor.stats.note_throttled(throttle_total.time,
@@ -734,6 +790,8 @@ class ConfigurationUnit:
                                  if degradation is not None else 0),
                 throttle_overhead=throttle_total,
                 throttled_vaults=len(throttled),
+                contention_overhead=contention_total,
+                contending_streams=concurrency,
                 vault_heat=vault_heat,
                 logic_heat=logic_heat)
             if cache is not None:

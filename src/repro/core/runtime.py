@@ -114,6 +114,7 @@ class ResilienceCounters:
     scrub_passes: int = 0
     throttled_executes: int = 0
     cached_executes: int = 0        # schedule-cache replays
+    contended_executes: int = 0     # ran sharing the stack (serving)
 
     @property
     def availability(self) -> float:
@@ -164,10 +165,16 @@ class Ledger:
     tile can serve the work), ``scrub`` (background patrol passes
     draining latent cell flips — maintenance overlapped with the host,
     so it is ledgered but never added to an execute's returned cost)
-    and ``throttle`` (the excess of DVFS frequency step-downs the
+    ``throttle`` (the excess of DVFS frequency step-downs the
     power-envelope governor imposed on hot vaults: the stretched pass
     drain priced at static power, on top of the ``accelerator``
-    category's unchanged nominal share).
+    category's unchanged nominal share) and ``contention`` (the excess
+    of sharing the stack with concurrent descriptor streams under the
+    serving runtime: every co-running pass time-shares the vault TSV
+    buses, and the stretched drain is priced at static power — like
+    scrub it is ledgered but never added to an execute's returned
+    cost, so per-call results stay bit-identical to solo runs and the
+    serving layer folds the stretch into request latency instead).
     """
 
     entries: List[LedgerEntry] = field(default_factory=list)
@@ -280,7 +287,8 @@ class MealibRuntime:
                        working_set_bytes=in_size + out_size)
 
     def acc_execute(self, plan: AccPlan,
-                    functional: bool = True) -> ExecResult:
+                    functional: bool = True,
+                    concurrency: int = 1) -> ExecResult:
         """Invoke the accelerators described by ``plan``.
 
         Charges the host-side invocation overhead (wbinvd, descriptor
@@ -289,6 +297,13 @@ class MealibRuntime:
         :attr:`policy`; dead tiles or exhausted retries degrade to host
         execution. Returns the end-to-end cost including any resilience
         overhead; details are accumulated in :attr:`ledger`.
+
+        ``concurrency`` tells the configuration unit how many
+        descriptor streams share the stack while this one runs (the
+        serving runtime's admission width): the vault-bandwidth
+        time-share stretch lands in the ``contention`` ledger
+        category. The default (1, a solo stream) is bit-identical to a
+        runtime without the knob.
         """
         if plan.destroyed:
             raise MealibRuntimeError("acc_execute on a destroyed plan")
@@ -313,12 +328,14 @@ class MealibRuntime:
                 self.faults.deposit_latent_flips(
                     self.datapath.phys.regions())
         try:
-            return self._execute_hardened(plan, functional, overhead)
+            return self._execute_hardened(plan, functional, overhead,
+                                          concurrency)
         finally:
             self._scrub_tick()
 
     def _execute_hardened(self, plan: AccPlan, functional: bool,
-                          overhead: ExecResult) -> ExecResult:
+                          overhead: ExecResult,
+                          concurrency: int = 1) -> ExecResult:
         total = overhead
         attempt = 0
         while True:
@@ -328,7 +345,7 @@ class MealibRuntime:
             try:
                 execution = self.cu.run_descriptor(
                     plan.descriptor.base_pa, plan.descriptor.size,
-                    functional=functional)
+                    functional=functional, concurrency=concurrency)
             except TileFailedError as exc:
                 self._write_descriptor(plan, CMD_IDLE)
                 total = total.plus(self._drain_correction_costs())
@@ -362,6 +379,10 @@ class MealibRuntime:
                     self.counters.throttled_executes += 1
                     self.ledger.log("throttle", "dvfs-stretch",
                                     execution.throttle_overhead)
+                if execution.contending_streams > 1:
+                    self.counters.contended_executes += 1
+                    self.ledger.log("contention", "vault-share",
+                                    execution.contention_overhead)
                 if execution.cache_hit:
                     self.counters.cached_executes += 1
                 self._thermal_step(execution)

@@ -18,9 +18,12 @@ descriptor is a pure function of
 
 The cache exploits that: the configuration unit keys each execution by
 ``(descriptor address, image bytes, serving tiles, reroutes, slowdown,
-throttled vaults, governor-attached)`` and replays the stored decode +
-model result on a hit, skipping descriptor decode, tile switch
-programming and the whole memory-system simulation. Everything with a
+throttled vaults, governor-attached, concurrency)`` and replays the
+stored decode + model result on a hit, skipping descriptor decode,
+tile switch programming and the whole memory-system simulation. (The
+``concurrency`` component is the co-running stream count the serving
+runtime dispatched the descriptor under — contention-stretched and
+solo executions never share an entry.) Everything with a
 *live* side effect — fault sampling, descriptor corruption + integrity
 check, datapath SECDED adjudication, functional execution, throttle
 bookkeeping — still runs on every call, so fault campaigns and
@@ -57,7 +60,11 @@ unchanged, so any health transition conservatively invalidates.
 
 ``MealibSystem(schedule_cache=True)`` turns the cache on and wires all
 five hook sources; the default (``None``) keeps the configuration unit
-byte-identical to a cache-free build.
+byte-identical to a cache-free build. The serving runtime additionally
+tags each dispatched call with its tenant (:meth:`ScheduleCache.
+set_tenant`), so hit/stale/capacity-eviction rates are reported per
+tenant (:attr:`ScheduleCache.tenant_stats`) alongside the global
+counters.
 """
 
 from __future__ import annotations
@@ -126,6 +133,8 @@ class ScheduleEntry:
             rerouted_vaults=ex.rerouted_vaults,
             throttle_overhead=ex.throttle_overhead,
             throttled_vaults=ex.throttled_vaults,
+            contention_overhead=ex.contention_overhead,
+            contending_streams=ex.contending_streams,
             vault_heat=(dict(ex.vault_heat)
                         if ex.vault_heat is not None else None),
             logic_heat=ex.logic_heat,
@@ -140,9 +149,35 @@ class ScheduleCache:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.stats = ScheduleCacheStats()
+        # tenant-tagged accounting: the serving runtime tags lookups
+        # and stores with the requesting tenant (set_tenant) and the
+        # cache keeps one ScheduleCacheStats per tag next to the
+        # global one. No tag (the default) costs nothing.
+        self.tenant_stats: Dict[str, ScheduleCacheStats] = {}
+        self._tenant: Optional[str] = None
         self._epochs: Dict[str, int] = {d: 0 for d in EPOCH_DOMAINS}
         self._entries: "OrderedDict[Hashable, ScheduleEntry]" = \
             OrderedDict()
+
+    # -- tenant tagging --------------------------------------------------------
+
+    def set_tenant(self, tenant: Optional[str]) -> None:
+        """Tag subsequent lookups/stores with ``tenant`` (``None``
+        clears the tag). The serving runtime brackets each dispatched
+        call with this so hit/stale/eviction rates attribute per
+        tenant."""
+        self._tenant = tenant
+
+    def stats_for(self, tenant: str) -> ScheduleCacheStats:
+        """The tagged stats of one tenant (created zeroed on first
+        use)."""
+        return self.tenant_stats.setdefault(tenant,
+                                            ScheduleCacheStats())
+
+    def _tagged(self) -> Optional[ScheduleCacheStats]:
+        if self._tenant is None:
+            return None
+        return self.stats_for(self._tenant)
 
     # -- epochs / invalidation ------------------------------------------------
 
@@ -179,16 +214,23 @@ class ScheduleCache:
         A key match with a stale epoch vector is evicted (and counted
         in ``stats.stale_evictions``) — it is never replayed.
         """
+        tagged = self._tagged()
         entry = self._entries.get(key)
         if entry is not None and entry.epochs != self.epoch_snapshot():
             del self._entries[key]
             self.stats.stale_evictions += 1
+            if tagged is not None:
+                tagged.stale_evictions += 1
             entry = None
         if entry is None:
             self.stats.misses += 1
+            if tagged is not None:
+                tagged.misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if tagged is not None:
+            tagged.hits += 1
         return entry
 
     def store(self, key: Hashable, plans: Sequence[PassPlan],
@@ -210,6 +252,8 @@ class ScheduleCache:
             rerouted_vaults=execution.rerouted_vaults,
             throttle_overhead=execution.throttle_overhead,
             throttled_vaults=execution.throttled_vaults,
+            contention_overhead=execution.contention_overhead,
+            contending_streams=execution.contending_streams,
             vault_heat=(dict(execution.vault_heat)
                         if execution.vault_heat is not None else None),
             logic_heat=execution.logic_heat)
@@ -220,6 +264,11 @@ class ScheduleCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.capacity_evictions += 1
+            tagged = self._tagged()
+            if tagged is not None:
+                # charged to the storing tenant: its store displaced
+                # the LRU victim
+                tagged.capacity_evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (epochs and stats are preserved)."""

@@ -59,6 +59,15 @@ class MealibSystem:
     default) for the fully simulated, cache-free build. All
     invalidation hooks — link/tile health, governor state, patrol-scrub
     repairs, injected faults — are wired automatically.
+
+    Many independent client streams can be multiplexed onto one system
+    by the multi-tenant serving runtime
+    (:class:`repro.serving.ServingRuntime`): per-tenant descriptor
+    queues, QoS classes with admission control, AXPY/DOT batch
+    coalescing, and vault-bandwidth contention priced exactly into the
+    ``contention`` ledger category with per-tenant attribution. A solo
+    synchronous caller (everything in this module's direct API) never
+    pays any of it.
     """
 
     def __init__(self, host: Optional[CpuModel] = None,
@@ -168,3 +177,10 @@ class MealibSystem:
                 self.ledger.total("retry"),
                 self.ledger.total("reroute"),
                 self.ledger.total("fallback"))
+
+    def contention_total(self) -> ExecResult:
+        """Total of the ``contention`` ledger category: the excess of
+        sharing the stack with concurrent descriptor streams under the
+        serving runtime (:mod:`repro.serving`). Exactly zero on any
+        solo call stream."""
+        return self.ledger.total("contention")

@@ -1,0 +1,37 @@
+"""Multi-tenant serving runtime over one accelerated memory stack.
+
+Multiplexes many independent client streams onto one
+:class:`~repro.core.system.MealibSystem`: per-tenant descriptor queues
+with QoS classes and admission control (:mod:`repro.serving.qos`),
+coalescing of compatible small calls into multi-PASS descriptors
+(:mod:`repro.serving.batching`), exact vault-bandwidth contention
+pricing with per-tenant ledger attribution, and seeded open-loop
+traffic generation for the latency/goodput bench
+(:mod:`repro.serving.traffic`). See
+:class:`~repro.serving.runtime.ServingRuntime` for the engine and its
+determinism/attribution invariants.
+"""
+
+from repro.serving.batching import BatchPolicy, call_sizes, coalesce
+from repro.serving.qos import QosClass, TenantConfig
+from repro.serving.runtime import Request, ServingRuntime, TenantStats
+from repro.serving.traffic import (DEFAULT_MIX, Arrival, TrafficConfig,
+                                   generate_trace, merge_traces,
+                                   offered_load)
+
+__all__ = [
+    "Arrival",
+    "BatchPolicy",
+    "DEFAULT_MIX",
+    "QosClass",
+    "Request",
+    "ServingRuntime",
+    "TenantConfig",
+    "TenantStats",
+    "TrafficConfig",
+    "call_sizes",
+    "coalesce",
+    "generate_trace",
+    "merge_traces",
+    "offered_load",
+]

@@ -1,0 +1,57 @@
+"""QoS classes and per-tenant admission configuration.
+
+Every client stream (tenant) the serving runtime multiplexes onto one
+:class:`~repro.core.system.MealibSystem` carries a QoS class — its
+scheduling priority — and an admission bound on how many lowered
+descriptors it may keep queued in the command space at once. Requests
+arriving at a full queue are *shed* at admission (counted per tenant,
+never executed, never planned into the command space), which is what
+keeps an open-loop overload from growing the queue — and the
+command-space footprint — without bound.
+
+Priorities are small integers, lower = more urgent. The scheduler ages
+queued requests (see :class:`~repro.serving.runtime.ServingRuntime`):
+each elapsed ``aging_quantum`` promotes a waiting request by one
+priority level, so a bulk-class request behind a sustained interactive
+flood is eventually dispatched — priority shapes latency, it never
+starves anyone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class QosClass(enum.IntEnum):
+    """Scheduling priority of one tenant's stream (lower = sooner)."""
+
+    INTERACTIVE = 0      # latency-sensitive small calls
+    STANDARD = 1         # the default
+    BULK = 2             # throughput work, happy to wait
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One client stream's identity, QoS class and admission bound.
+
+    Attributes:
+        tenant: stable identifier (ledger labels, cache tags).
+        qos: scheduling priority class.
+        max_queue_depth: admission control — the most requests this
+            tenant may hold queued (each queued request is a lowered
+            descriptor resident in the command space). Arrivals beyond
+            it are shed.
+    """
+
+    tenant: str
+    qos: QosClass = QosClass.STANDARD
+    max_queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant id must be non-empty")
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got "
+                f"{self.max_queue_depth}")

@@ -1,0 +1,234 @@
+"""Batching equivalence and tenant-tagged cache staleness.
+
+The batcher coalesces adjacent small same-op calls into one multi-PASS
+descriptor (one PASS per member — see :mod:`repro.serving.batching`).
+That transformation must be *exactly* equivalent where it matters:
+
+* functional results — batched and unbatched runs write bit-identical
+  output buffers;
+* ``accelerator`` ledger totals — every member pass is modeled
+  independently, so the batched totals equal the unbatched totals to
+  the last bit, while the ``invocation`` total strictly shrinks (the
+  whole point of coalescing);
+
+and it must respect its own policy: never across ops, never past
+``max_batch``, never for calls above the small-call threshold.
+
+The second half pins the tenant-tagged schedule-cache staleness path:
+health and governor epoch bumps between serves must be *caught* —
+counted as stale evictions in the dispatching tenant's tagged stats,
+re-simulated, and never silently replayed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.axpy import AxpyParams
+from repro.core import MealibSystem
+from repro.eval.workloads import TABLE2
+from repro.serving import (BatchPolicy, ServingRuntime, TenantConfig,
+                           coalesce)
+
+N_CALLS = 6
+VECTOR_N = 4096
+SCALE = 0.004
+
+
+def _system():
+    return MealibSystem(stack_bytes=32 << 20)
+
+
+def _alloc_axpy_calls(system, rng):
+    """N_CALLS real AXPY instances on freshly allocated buffers; the
+    allocation order fixes the physical addresses, so two systems built
+    the same way get bit-identical operand layouts."""
+    calls = []
+    views = []
+    for i in range(N_CALLS):
+        bx, x = system.space.alloc_array((VECTOR_N,), np.float32)
+        by, y = system.space.alloc_array((VECTOR_N,), np.float32)
+        x[:] = rng.standard_normal(VECTOR_N).astype(np.float32)
+        y[:] = rng.standard_normal(VECTOR_N).astype(np.float32)
+        calls.append(("AXPY", AxpyParams(n=VECTOR_N, alpha=1.5 + i,
+                                         x_pa=bx.pa, y_pa=by.pa)))
+        views.append(y)
+    return calls, views
+
+
+def _serve(system, calls, batching):
+    serving = ServingRuntime(system, [TenantConfig("t")],
+                             max_concurrency=1, batching=batching,
+                             functional=True)
+    for op, params in calls:
+        serving.submit("t", op, params, arrival=0.0)
+    serving.run()
+    serving.verify_tenant_decomposition()
+    return serving
+
+
+def test_batched_run_is_functionally_exact():
+    batched_sys = _system()
+    unbatched_sys = _system()
+    calls_a, views_a = _alloc_axpy_calls(batched_sys,
+                                         np.random.default_rng(11))
+    calls_b, views_b = _alloc_axpy_calls(unbatched_sys,
+                                         np.random.default_rng(11))
+    served_a = _serve(batched_sys, calls_a,
+                      BatchPolicy(max_batch=N_CALLS))
+    served_b = _serve(unbatched_sys, calls_b, None)
+    # bit-identical outputs, member by member
+    for i, (ya, yb) in enumerate(zip(views_a, views_b)):
+        assert ya.tobytes() == yb.tobytes(), f"call {i} diverged"
+    # everything rode one coalesced descriptor vs. N solo ones
+    assert all(r.batch_size == N_CALLS for r in served_a.requests)
+    assert batched_sys.runtime.counters.executes == 1
+    assert unbatched_sys.runtime.counters.executes == N_CALLS
+
+
+def test_batched_ledger_totals_are_exact():
+    batched_sys = _system()
+    unbatched_sys = _system()
+    calls_a, _ = _alloc_axpy_calls(batched_sys,
+                                   np.random.default_rng(12))
+    calls_b, _ = _alloc_axpy_calls(unbatched_sys,
+                                   np.random.default_rng(12))
+    _serve(batched_sys, calls_a, BatchPolicy(max_batch=N_CALLS))
+    _serve(unbatched_sys, calls_b, None)
+    # accelerator totals: bit-identical (one PASS per member, each
+    # modeled exactly as its solo descriptor would be)
+    a = batched_sys.ledger.total("accelerator")
+    b = unbatched_sys.ledger.total("accelerator")
+    assert a.time == b.time and a.energy == b.energy
+    # invocation totals: strictly smaller batched — the coalescing win
+    inv_a = batched_sys.ledger.total("invocation")
+    inv_b = unbatched_sys.ledger.total("invocation")
+    assert inv_a.time < inv_b.time
+    assert inv_a.energy < inv_b.energy
+
+
+def test_batches_never_cross_ops_or_max_batch():
+    system = _system()
+    serving = ServingRuntime(system, [TenantConfig("t")],
+                             max_concurrency=1,
+                             batching=BatchPolicy(max_batch=3),
+                             functional=False)
+    ops = ["AXPY", "AXPY", "AXPY", "AXPY", "DOT", "DOT", "AXPY"]
+    for op in ops:
+        serving.submit("t", op, TABLE2[op].params(SCALE), arrival=0.0)
+    serving.run()
+    sizes = [r.batch_size for r in serving.requests]
+    # FIFO + policy: AXPYx3 (cap), AXPY alone, DOTx2, AXPY alone
+    assert sizes == [3, 3, 3, 1, 2, 2, 1]
+    for r in serving.requests:
+        batch_ops = {q.op for q in serving.requests
+                     if q.start == r.start}
+        assert len(batch_ops) == 1, "a batch mixed ops"
+
+
+def test_large_calls_are_never_batched():
+    system = _system()
+    policy = BatchPolicy(max_batch=8, max_bytes=1 << 10)  # tiny cap
+    serving = ServingRuntime(system, [TenantConfig("t")],
+                             max_concurrency=1, batching=policy,
+                             functional=False)
+    for _ in range(4):
+        serving.submit("t", "AXPY", TABLE2["AXPY"].params(SCALE),
+                       arrival=0.0)
+    serving.run()
+    assert all(r.batch_size == 1 for r in serving.requests)
+
+
+# -- tenant-tagged stale-cache regression -------------------------------------
+
+
+def _cached_serving(system):
+    return ServingRuntime(system, [TenantConfig("t")],
+                          max_concurrency=1, functional=False)
+
+
+def test_health_epoch_bump_is_caught_per_tenant():
+    system = MealibSystem(stack_bytes=32 << 20, schedule_cache=True)
+    serving = _cached_serving(system)
+    plan = coalesce(system, [("AXPY", TABLE2["AXPY"].params(SCALE))])
+    for i in range(3):
+        serving.submit_plan("t", plan, arrival=float(i))
+    serving.run()
+    tagged = system.schedule_cache.stats_for("t")
+    assert (tagged.hits, tagged.misses, tagged.stale_evictions) \
+        == (2, 1, 0)
+    healthy = serving.requests[0].result
+
+    # the classic stale hole: a transient link flap leaves the serving/
+    # reroute sets — and therefore the cache KEY — exactly as before,
+    # but bumps the health epoch twice; the tenant's next serve must
+    # stale-evict and re-simulate, never silently replay
+    noc = system.layer.noc
+    link = noc.healthy_links()[0]
+    noc.fail_link(*link)
+    noc.restore_link(*link)
+    serving.submit_plan("t", plan, arrival=3.0)
+    serving.run()
+    tagged = system.schedule_cache.stats_for("t")
+    assert tagged.stale_evictions == 1
+    assert (tagged.hits, tagged.misses) == (2, 2)
+    # the world really is back to healthy, so the re-simulation agrees
+    assert serving.requests[-1].result.time == healthy.time
+    assert serving.requests[-1].result.energy == healthy.energy
+
+    # a permanent health change (dead tile) alters the key itself: a
+    # tagged miss, and the re-simulated run really pays reroute
+    system.layer.mark_tile_failed(0)
+    serving.submit_plan("t", plan, arrival=4.0)
+    serving.run()
+    tagged = system.schedule_cache.stats_for("t")
+    assert tagged.misses == 3
+    degraded = serving.requests[-1].result
+    assert degraded.time > healthy.time
+    assert system.ledger.total("reroute").time > 0.0
+
+
+def test_governor_epoch_bump_is_caught_per_tenant():
+    system = MealibSystem(stack_bytes=32 << 20, schedule_cache=True)
+    serving = _cached_serving(system)
+    plan = coalesce(system, [("DOT", TABLE2["DOT"].params(SCALE))])
+    for i in range(2):
+        serving.submit_plan("t", plan, arrival=float(i))
+    serving.run()
+
+    # a governor state transition fires the cache's thermal hook (the
+    # PowerGovernor wires on_state_change to exactly this)
+    system.schedule_cache.invalidate_thermal()
+
+    serving.submit_plan("t", plan, arrival=2.0)
+    serving.run()
+    tagged = system.schedule_cache.stats_for("t")
+    assert tagged.stale_evictions == 1
+    assert (tagged.hits, tagged.misses) == (1, 2)
+    # the re-simulated call replays bit-identically thereafter
+    serving.submit_plan("t", plan, arrival=3.0)
+    serving.run()
+    tagged = system.schedule_cache.stats_for("t")
+    assert tagged.hits == 2
+    results = [r.result for r in serving.requests]
+    assert all(r.time == results[0].time for r in results)
+    assert all(r.energy == results[0].energy for r in results)
+
+
+def test_tenant_tags_split_cache_traffic():
+    system = MealibSystem(stack_bytes=32 << 20, schedule_cache=True)
+    serving = ServingRuntime(system,
+                             [TenantConfig("a"), TenantConfig("b")],
+                             max_concurrency=1, functional=False)
+    plan = coalesce(system, [("AXPY", TABLE2["AXPY"].params(SCALE))])
+    for i in range(4):
+        serving.submit_plan("a" if i % 2 == 0 else "b", plan,
+                            arrival=float(i))
+    serving.run()
+    stats_a = system.schedule_cache.stats_for("a")
+    stats_b = system.schedule_cache.stats_for("b")
+    # a took the cold miss, b rides a's entry; global = sum of tags
+    assert (stats_a.hits, stats_a.misses) == (1, 1)
+    assert (stats_b.hits, stats_b.misses) == (2, 0)
+    glob = system.schedule_cache.stats
+    assert glob.hits == stats_a.hits + stats_b.hits
+    assert glob.misses == stats_a.misses + stats_b.misses
